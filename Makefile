@@ -1,0 +1,24 @@
+# Convenience targets for the CrowdSky reproduction.
+
+.PHONY: install test bench bench-ci experiments experiments-paper examples lint-clean
+
+install:
+	pip install -e '.[dev]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-ci:
+	pytest benchmarks/ --benchmark-only --repro-scale ci
+
+experiments:
+	python -m repro.experiments run all --scale ci
+
+experiments-paper:
+	python -m repro.experiments run all --scale paper
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done

@@ -1,0 +1,37 @@
+"""Figure 6: number of questions over independent distribution.
+
+Paper shape: the full pruning stack (P1+P2+P3) minimizes questions in
+every sweep — roughly an order of magnitude below Baseline on IND — and
+DSet alone already beats Baseline on IND.
+"""
+
+
+def _assert_full_stack_wins(rows):
+    for row in rows:
+        assert row["P1+P2+P3"] < row["Baseline"]
+        assert row["P1"] <= row["DSet"]
+
+
+def test_fig6a_questions_vs_cardinality(run_figure):
+    result = run_figure("fig6a")
+    _assert_full_stack_wins(result.rows)
+    # DSet beats Baseline on IND (the paper's observation 1).
+    for row in result.rows:
+        assert row["DSet"] < row["Baseline"] * 1.5
+
+
+def test_fig6b_questions_vs_known_dims(run_figure):
+    result = run_figure("fig6b")
+    _assert_full_stack_wins(result.rows)
+    # Pruned question counts decrease with |AK| while Baseline is flat.
+    pruned = [row["P1+P2+P3"] for row in result.rows]
+    assert pruned[-1] < pruned[0]
+
+
+def test_fig6c_questions_vs_crowd_dims(run_figure):
+    result = run_figure("fig6c")
+    _assert_full_stack_wins(result.rows)
+    # Question counts grow with |AC| for every method.
+    for series in ("Baseline", "P1+P2+P3"):
+        values = [row[series] for row in result.rows]
+        assert values == sorted(values)

@@ -1,0 +1,30 @@
+"""Figure 7: number of questions over anti-correlated distribution.
+
+Paper shape: plain DSet degrades on ANT (huge skylines) — it can exceed
+Baseline — while P2 (transitivity) and P3 (probing) recover large
+savings; the full stack still wins everywhere.
+"""
+
+
+def test_fig7a_questions_vs_cardinality(run_figure):
+    result = run_figure("fig7a")
+    for row in result.rows:
+        assert row["P1+P2+P3"] < row["Baseline"]
+        # P2 is "fairly effective over anti-correlated distribution".
+        assert row["P1+P2"] < row["P1"]
+
+
+def test_fig7b_questions_vs_known_dims(run_figure):
+    result = run_figure("fig7b")
+    for row in result.rows:
+        assert row["P1+P2+P3"] < row["Baseline"]
+    # Low |AK| is where pruning shines most on ANT (paper: two orders
+    # of magnitude below DSet at |AK| = 2).
+    first = result.rows[0]
+    assert first["P1+P2+P3"] < first["DSet"] / 2
+
+
+def test_fig7c_questions_vs_crowd_dims(run_figure):
+    result = run_figure("fig7c")
+    for row in result.rows:
+        assert row["P1+P2+P3"] <= row["P1"]

@@ -1,0 +1,15 @@
+"""Figure 8: number of rounds vs cardinality (IND and ANT).
+
+Paper shape: Baseline ≥ Serial ≫ ParallelDSet ≫ ParallelSL, with
+ParallelSL one-to-two orders of magnitude below Serial and staying at a
+few dozen rounds across cardinalities.
+"""
+
+
+def test_fig8_rounds_vs_cardinality(run_figure):
+    result = run_figure("fig8")
+    for row in result.rows:
+        assert row["ParallelSL"] <= row["ParallelDSet"] <= row["Serial"]
+        assert row["Serial"] <= row["Baseline"]
+        # The headline claim: ParallelSL crushes the serial round count.
+        assert row["ParallelSL"] < row["Serial"] / 4

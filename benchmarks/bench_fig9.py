@@ -1,0 +1,18 @@
+"""Figure 9: number of rounds vs |AK| (IND and ANT).
+
+Paper shape: Serial needs more rounds as |AK| grows while the parallel
+schedulers *decrease* — the degree of parallelization rises with |AK|.
+"""
+
+
+def test_fig9_rounds_vs_known_dims(run_figure):
+    result = run_figure("fig9")
+    by_distribution = {}
+    for row in result.rows:
+        by_distribution.setdefault(row["distribution"], []).append(row)
+    for rows in by_distribution.values():
+        for row in rows:
+            assert row["ParallelSL"] <= row["ParallelDSet"] <= row["Serial"]
+        # ParallelSL's round count does not grow with |AK|.
+        sl = [row["ParallelSL"] for row in rows]
+        assert sl[-1] <= sl[0] * 1.5

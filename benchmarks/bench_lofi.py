@@ -1,0 +1,21 @@
+"""Extension benchmark: the [12] probabilistic skyline's budget curve.
+
+Shape: accuracy (Jaccard similarity to the true skyline) grows
+monotonically-ish with budget, and informed selection (uncertainty /
+influence) dominates random selection at mid budgets.
+"""
+
+import numpy as np
+
+
+def test_extra_lofi_budget_curve(run_figure, scale):
+    result = run_figure("extra_lofi")
+    budgets = [row["budget"] for row in result.rows]
+    assert budgets == sorted(budgets)
+    first, last = result.rows[0], result.rows[-1]
+    for policy in ("random", "uncertainty", "influence"):
+        assert last[policy] >= first[policy]
+    if scale != "smoke":
+        mid = result.rows[len(result.rows) // 2]
+        informed = max(mid["uncertainty"], mid["influence"])
+        assert informed >= mid["random"] - 0.05

@@ -1,0 +1,17 @@
+"""Regenerate the paper's worked Tables 1-3 (exact artifacts)."""
+
+
+def test_table1(run_figure):
+    result = run_figure("table1")
+    assert sum(row["|DS(t)|"] for row in result.rows) == 26
+
+
+def test_table2(run_figure):
+    result = run_figure("table2")
+    assert sum(row["questions"] for row in result.rows) == 18
+
+
+def test_table3(run_figure):
+    result = run_figure("table3")
+    rounds = [row for row in result.rows if isinstance(row["round"], int)]
+    assert len(rounds) == 6

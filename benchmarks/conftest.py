@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+experiment registry, asserts the paper's qualitative shape (who wins, by
+roughly what factor) and attaches the measured rows to the benchmark
+record (``extra_info``) so runs are self-documenting.
+
+Scale is controlled with ``--repro-scale`` (default ``smoke`` so that
+``pytest benchmarks/ --benchmark-only`` stays minutes-fast; use ``ci`` or
+``paper`` to regenerate EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import format_table
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="smoke",
+        choices=("smoke", "ci", "paper"),
+        help="parameter grid for the figure/table reproductions",
+    )
+
+
+@pytest.fixture
+def scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def run_figure(benchmark, scale):
+    """Run one experiment under pytest-benchmark and return its rows."""
+
+    def runner(experiment_id):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(format_table(result))
+        benchmark.extra_info["rows"] = result.rows
+        benchmark.extra_info["scale"] = scale
+        return result
+
+    return runner

@@ -1,0 +1,47 @@
+"""Query Q3: the most valuable MLB pitchers of 2013 (paper §6.2).
+
+``wins``, ``strike_outs`` and ``era`` are machine-known; how *valuable*
+each pitcher is lives only in crowd judgment. The paper validates the
+crowdsourced skyline against the 2013 Cy Young award candidates.
+
+Run with::
+
+    python examples/mlb_pitchers.py
+"""
+
+from repro import SimulatedCrowd, StaticVoting, WorkerPool, crowdsky
+from repro.data.mlb import PAPER_Q3_SKYLINE, mlb_dataset
+from repro.metrics.accuracy import ak_skyline
+
+
+def main() -> None:
+    pitchers = mlb_dataset()
+    crowd = SimulatedCrowd(
+        pitchers,
+        pool=WorkerPool.uniform(accuracy=0.97),
+        voting=StaticVoting(5),
+        seed=7,
+    )
+    result = crowdsky(pitchers, crowd=crowd)
+
+    print("machine skyline over {wins, strike_outs, era}:")
+    for i in sorted(ak_skyline(pitchers)):
+        row = pitchers[i]
+        wins, strikeouts, era = row.known
+        print(
+            f"  {pitchers.label(i):18} {wins:4.0f} W "
+            f"{strikeouts:4.0f} SO  {era:4.2f} ERA"
+        )
+
+    print(
+        f"\ncrowdsourced skyline ({result.stats.questions} questions, "
+        f"{result.stats.rounds} rounds, ${result.stats.hit_cost():.2f}):"
+    )
+    for label in sorted(result.skyline_labels(pitchers)):
+        marker = "*" if label in PAPER_Q3_SKYLINE else " "
+        print(f"  {marker} {label}")
+    print("\n(* = 2013 Cy Young award candidate, the paper's validation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Crowd-judged NBA skyline: who is on the stat-line Pareto frontier?
+
+Points, rebounds and assists are machine-known; overall "impact" is a
+crowd judgment. A dynamic-voting noisy crowd answers pairwise questions
+("who impacted games more?") and CrowdSky keeps only the players nobody
+beats across the board.
+
+Run with::
+
+    python examples/nba_allstars.py
+"""
+
+from repro import (
+    DynamicVoting,
+    SimulatedCrowd,
+    WorkerPool,
+    crowdsky,
+    precision_recall,
+)
+from repro.data.nba import nba_dataset
+from repro.metrics.accuracy import ak_skyline
+from repro.skyline.dominance import dominance_matrix
+from repro.skyline.dominating import FrequencyOracle
+
+
+def main() -> None:
+    players = nba_dataset()
+    frequency = FrequencyOracle(dominance_matrix(players.known_matrix()))
+    crowd = SimulatedCrowd(
+        players,
+        pool=WorkerPool.uniform(accuracy=0.9),
+        voting=DynamicVoting.from_frequency(frequency, omega=5),
+        seed=23,
+    )
+    result = crowdsky(players, crowd=crowd)
+    report = precision_recall(result.skyline, players)
+
+    print(
+        f"{result.stats.questions} questions, "
+        f"cost ${result.stats.hit_cost():.2f}, "
+        f"precision={report.precision:.2f} recall={report.recall:.2f}\n"
+    )
+    machine = ak_skyline(players)
+    print(f"{'player':22} {'pts':>5} {'reb':>5} {'ast':>5}  in AK skyline?")
+    for i in sorted(result.skyline, key=players.label):
+        points, rebounds, assists = players[i].known
+        marker = "yes" if i in machine else "crowd-confirmed"
+        print(
+            f"{players.label(i):22} {points:5.1f} {rebounds:5.1f} "
+            f"{assists:5.1f}  {marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

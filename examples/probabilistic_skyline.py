@@ -1,0 +1,80 @@
+"""The comparator system [12]: budgeted probabilistic skylines.
+
+CrowdSky completes the skyline by asking pairwise questions inside
+dominating sets. The prior work it contrasts with — Lofi et al., EDBT
+2013 — instead handles *partially* incomplete data: missing cells are
+random variables, tuples get a probability of skyline membership, and a
+fixed budget of unary questions buys confidence where it matters most.
+
+This example runs both formulations side by side and shows the budget
+curve of the probabilistic system under three question-selection
+policies.
+
+Run with::
+
+    python examples/probabilistic_skyline.py
+"""
+
+import numpy as np
+
+from repro import Distribution, crowdsky, generate_synthetic
+from repro.incomplete import (
+    IncompleteRelation,
+    SelectionPolicy,
+    lofi_skyline,
+)
+from repro.metrics.accuracy import ground_truth_skyline
+from repro.skyline.dominance import skyline_mask
+
+
+def main() -> None:
+    truth = generate_synthetic(
+        80, 3, 0, Distribution.INDEPENDENT, seed=30
+    ).known_matrix()
+    expected = set(np.nonzero(skyline_mask(truth))[0].astype(int))
+    print(f"dataset: n=80, d=3; true skyline size {len(expected)}\n")
+
+    print("== probabilistic skyline under growing budgets ==")
+    print(f"  {'budget':>6}  {'random':>7}  {'uncertainty':>11}  "
+          f"{'influence':>9}   (Jaccard vs truth)")
+    for budget in (0, 10, 25, 50, 100):
+        cells = []
+        for policy in SelectionPolicy:
+            scores = []
+            for seed in range(3):
+                relation = IncompleteRelation.mask_random_cells(
+                    truth, 0.3, seed=seed
+                )
+                result = lofi_skyline(
+                    relation, budget=budget, policy=policy,
+                    worker_sigma=0.05, seed=seed,
+                )
+                union = result.skyline | expected
+                scores.append(
+                    len(result.skyline & expected) / len(union)
+                    if union else 1.0
+                )
+            cells.append(sum(scores) / len(scores))
+        print(f"  {budget:6d}  {cells[0]:7.3f}  {cells[1]:11.3f}  "
+              f"{cells[2]:9.3f}")
+
+    print("\n== the same data in CrowdSky's formulation ==")
+    # Hand-off setting: the last attribute becomes a fully-missing crowd
+    # column that pairwise questions reconstruct exactly.
+    relation = generate_synthetic(
+        80, 2, 1, Distribution.INDEPENDENT, seed=30
+    )
+    result = crowdsky(relation)
+    exact = result.skyline == ground_truth_skyline(relation)
+    print(
+        f"  CrowdSky: {result.stats.questions} pairwise questions, "
+        f"complete skyline, exact={exact}"
+    )
+    print(
+        "\nFixed budgets buy probabilistic confidence; CrowdSky spends "
+        "exactly what completeness costs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: compute a crowdsourced skyline on synthetic data.
+
+Generates the paper's default workload (independent distribution,
+``|AK| = 4`` known attributes, one crowd attribute), runs all three
+CrowdSky schedulers against a simulated crowd, and compares cost/latency
+with the tournament-sort Baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Distribution,
+    baseline_skyline,
+    crowdsky,
+    generate_synthetic,
+    ground_truth_skyline,
+    parallel_dset,
+    parallel_sl,
+)
+
+
+def main() -> None:
+    relation = generate_synthetic(
+        500,
+        num_known=4,
+        num_crowd=1,
+        distribution=Distribution.INDEPENDENT,
+        seed=0,
+    )
+    truth = ground_truth_skyline(relation)
+    print(f"dataset: n={len(relation)}, |AK|=4, |AC|=1 (IND)")
+    print(f"latent ground-truth skyline size: {len(truth)}\n")
+
+    algorithms = (
+        ("Baseline (tournament sort)", baseline_skyline),
+        ("CrowdSky (serial)", crowdsky),
+        ("ParallelDSet", parallel_dset),
+        ("ParallelSL", parallel_sl),
+    )
+    print(f"{'algorithm':30} {'questions':>9} {'rounds':>7} "
+          f"{'cost':>8} {'exact?':>7}")
+    for name, algorithm in algorithms:
+        # A fresh relation handle per run keeps crowds independent.
+        data = generate_synthetic(
+            500, 4, 1, Distribution.INDEPENDENT, seed=0
+        )
+        result = algorithm(data)
+        exact = result.skyline == truth
+        print(
+            f"{name:30} {result.stats.questions:9d} "
+            f"{result.stats.rounds:7d} "
+            f"${result.stats.hit_cost():7.2f} {str(exact):>7}"
+        )
+
+    print(
+        "\nWith a perfect crowd every algorithm is exact; CrowdSky asks a "
+        "fraction of the Baseline's questions, and ParallelSL needs only "
+        "a few dozen rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""CrowdSky: Skyline Computation with Crowdsourcing — full reproduction.
+
+Reproduces Lee, Lee & Kim, EDBT 2016 (DOI 10.5441/002/edbt.2016.14): a
+crowd-enabled skyline engine that asks human workers pairwise questions
+to fill missing (crowd) attributes, minimizing monetary cost via
+dominating-set pruning, latency via parallel round scheduling, and
+improving accuracy via dynamic majority voting.
+
+Quick start::
+
+    from repro import crowdsky, generate_synthetic, Distribution
+
+    relation = generate_synthetic(500, num_known=4, num_crowd=1,
+                                  distribution=Distribution.INDEPENDENT,
+                                  seed=0)
+    result = crowdsky(relation)
+    print(result.summary())
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.core.baseline import baseline_skyline
+from repro.core.crowdsky import (
+    CrowdSkyConfig,
+    PruningLevel,
+    crowdsky,
+    crowdsky_budgeted,
+)
+from repro.core.parallel import parallel_dset, parallel_sl
+from repro.core.preference import ContradictionPolicy, PreferenceSystem
+from repro.core.result import CrowdSkylineResult
+from repro.core.unary import unary_skyline
+from repro.crowd.platform import CrowdStats, SimulatedCrowd
+from repro.crowd.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+    UnaryQuestion,
+)
+from repro.crowd.voting import DynamicVoting, StaticVoting
+from repro.crowd.workers import (
+    BernoulliWorker,
+    DifficultyAwareWorker,
+    PerfectWorker,
+    SkilledWorker,
+    SpammerWorker,
+    WorkerPool,
+)
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.exceptions import CrowdSkyError
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    ak_skyline,
+    ground_truth_skyline,
+    precision_recall,
+)
+from repro.query.executor import execute_query
+from repro.query.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyReport",
+    "Attribute",
+    "AttributeKind",
+    "BernoulliWorker",
+    "ContradictionPolicy",
+    "CrowdSkyConfig",
+    "CrowdSkyError",
+    "DifficultyAwareWorker",
+    "CrowdSkylineResult",
+    "CrowdStats",
+    "Direction",
+    "Distribution",
+    "DynamicVoting",
+    "MultiwayQuestion",
+    "PairwiseQuestion",
+    "PerfectWorker",
+    "Preference",
+    "PreferenceSystem",
+    "PruningLevel",
+    "Relation",
+    "Schema",
+    "SimulatedCrowd",
+    "SkilledWorker",
+    "SpammerWorker",
+    "StaticVoting",
+    "Tuple",
+    "UnaryQuestion",
+    "WorkerPool",
+    "ak_skyline",
+    "baseline_skyline",
+    "crowdsky",
+    "crowdsky_budgeted",
+    "execute_query",
+    "generate_synthetic",
+    "ground_truth_skyline",
+    "parallel_dset",
+    "parallel_sl",
+    "parse_query",
+    "precision_recall",
+    "unary_skyline",
+]

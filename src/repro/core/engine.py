@@ -1,0 +1,331 @@
+"""Shared machinery between the serial and parallel schedulers.
+
+Holds the execution context (dominance structures, preference system,
+crowd handle) plus the primitives every scheduler needs: asking a pair as
+one round, asking a batch of pairs as one round, and the degenerate-case
+preprocessing of Algorithm 1 lines 1-3 (tuples with identical ``AK``
+values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple as TupleT, Union
+
+import numpy as np
+
+from repro.core.preference import ContradictionPolicy, PreferenceSystem
+from repro.core.tasks import MultiwayRequest, PairRequest
+from repro.crowd.platform import SimulatedCrowd
+from repro.crowd.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+)
+from repro.data.relation import Relation
+from repro.exceptions import CrowdSkyError
+from repro.skyline.dominating import (
+    FrequencyOracle,
+    dominating_sets,
+    evaluation_order,
+)
+from repro.skyline.dominance import dominance_matrix
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a scheduler needs to evaluate tuples.
+
+    Build one with :func:`build_context`; schedulers then share the
+    preference system, dominance matrix, dominating sets and frequency
+    oracle without recomputation.
+    """
+
+    relation: Relation
+    crowd: SimulatedCrowd
+    prefs: PreferenceSystem
+    matrix: np.ndarray
+    dominating: List[Set[int]]
+    frequency: FrequencyOracle
+    removed: Set[int] = field(default_factory=set)
+    ac_round_robin: bool = False
+
+    @property
+    def n(self) -> int:
+        """Relation cardinality."""
+        return len(self.relation)
+
+    def eval_order(self) -> List[int]:
+        """Tuples in ascending ``|DS(t)|`` order, preprocessed tuples
+        excluded."""
+        order = evaluation_order(self.dominating)
+        return [t for t in order if t not in self.removed]
+
+    def ds_in_eval_order(self, t: int) -> List[int]:
+        """``DS(t)`` members sorted by their own evaluation position."""
+        members = self.dominating[t]
+        return sorted(members, key=lambda s: (len(self.dominating[s]), s))
+
+
+def seed_visible_preferences(
+    prefs: PreferenceSystem,
+    relation: Relation,
+    visible: Iterable[int],
+) -> int:
+    """Pre-populate ``T`` for tuples whose crowd values are stored.
+
+    The paper's §2.2 notes that in real applications only a *subset* of
+    tuples has missing values, and the stored values "can be represented
+    by a pre-defined partial order". This seeds exactly that order: for
+    every crowd attribute, the visible tuples are sorted by their stored
+    (latent) value and chained with strict/tie edges — transitivity then
+    derives all ``O(k²)`` pairwise relations from ``k − 1`` edges, so
+    questions between two visible tuples are never asked.
+
+    Returns the number of edges inserted.
+    """
+    visible = sorted(set(visible))
+    if len(visible) < 2:
+        return 0
+    latent = relation.latent_matrix()
+    edges = 0
+    for attribute in range(relation.schema.num_crowd):
+        ordered = sorted(visible, key=lambda t: (latent[t, attribute], t))
+        for left, right in zip(ordered, ordered[1:]):
+            if latent[left, attribute] < latent[right, attribute]:
+                answer = Preference.LEFT
+            else:
+                answer = Preference.EQUAL
+            prefs.add_answer(left, right, attribute, answer)
+            edges += 1
+    return edges
+
+
+def build_context(
+    relation: Relation,
+    crowd: Optional[SimulatedCrowd] = None,
+    policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ac_round_robin: bool = False,
+    visible_crowd: Optional[Iterable[int]] = None,
+) -> ExecutionContext:
+    """Prepare the machine-side structures and run the degenerate-case
+    preprocessing (Algorithm 1 lines 1-3).
+
+    ``visible_crowd`` lists tuples whose crowd values are stored rather
+    than missing (the §2.2 partial-incompleteness extension); their
+    mutual preferences are seeded into ``T`` for free.
+    """
+    if relation.schema.num_crowd < 1:
+        raise CrowdSkyError(
+            "crowd-enabled skyline needs at least one crowd attribute; "
+            "use repro.skyline for machine-only skylines"
+        )
+    if crowd is None:
+        crowd = SimulatedCrowd(relation)
+    if crowd.relation is not relation:
+        raise CrowdSkyError("crowd platform was built for a different relation")
+
+    n = len(relation)
+    prefs = PreferenceSystem(n, relation.schema.num_crowd, policy)
+    if visible_crowd is not None:
+        seed_visible_preferences(prefs, relation, visible_crowd)
+    removed = preprocess_duplicates(relation, crowd, prefs)
+
+    known = relation.known_matrix()
+    matrix = dominance_matrix(known)
+    frequency = FrequencyOracle(matrix)
+
+    dominating = dominating_sets(known)
+    if removed:
+        dominating = [
+            {s for s in members if s not in removed} for members in dominating
+        ]
+
+    return ExecutionContext(
+        relation=relation,
+        crowd=crowd,
+        prefs=prefs,
+        matrix=matrix,
+        dominating=dominating,
+        frequency=frequency,
+        removed=removed,
+        ac_round_robin=ac_round_robin,
+    )
+
+
+def apply_answers(
+    prefs: PreferenceSystem,
+    answers: Dict[PairwiseQuestion, Preference],
+) -> None:
+    """Fold aggregated round answers into the preference system."""
+    for question, answer in answers.items():
+        prefs.add_answer(
+            question.left, question.right, question.attribute, answer
+        )
+
+
+def _request_decided(
+    prefs: PreferenceSystem, request: PairRequest
+) -> bool:
+    """Whether further micro-questions on the request cannot change its
+    conclusion.
+
+    For a Q(t) dominance check ``(s, t)``, one attribute preferring ``t``
+    already rules out ``s ≺_A t``. For probe pairs the pair must be fully
+    known or certainly incomparable (opposite strict preferences)."""
+    has_left = False
+    has_right = False
+    unknown = False
+    for graph in prefs.graphs:
+        rel = graph.relation(request.left, request.right)
+        if rel is None:
+            unknown = True
+        elif rel is Preference.LEFT:
+            has_left = True
+        elif rel is Preference.RIGHT:
+            has_right = True
+    if request.dominance_check and has_right:
+        return True  # right (= t) strictly preferred somewhere: no dominance
+    if has_left and has_right:
+        return True  # certainly incomparable in AC
+    return not unknown
+
+
+def _request_attributes(
+    prefs: PreferenceSystem, request: PairRequest
+) -> List[int]:
+    """Attributes to ask for a request: all of them for forced requests
+    (no preference-tree inference in the DSet/P1 variants), otherwise only
+    those not yet derivable."""
+    if request.force:
+        return list(range(prefs.num_attributes))
+    return prefs.unknown_attributes(request.left, request.right)
+
+
+def apply_multiway_answers(
+    prefs: PreferenceSystem,
+    answers: Dict[MultiwayQuestion, int],
+) -> None:
+    """Fold m-ary winners into the preference system.
+
+    The chosen candidate is preferred over every other candidate of its
+    question — ``k − 1`` strict edges per answer."""
+    for question, winner in answers.items():
+        for candidate in question.candidates:
+            if candidate != winner:
+                prefs.add_answer(
+                    winner, candidate, question.attribute, Preference.LEFT
+                )
+
+
+def ask_pair(
+    context: ExecutionContext, request: Union[PairRequest, MultiwayRequest]
+) -> None:
+    """Ask one request as a single round.
+
+    Pair requests expand to ``|AC|`` micro-questions at once; multiway
+    requests are a single m-ary micro-task (§2.1's extension).
+
+    With ``ac_round_robin`` enabled (the extension §6.1 mentions but does
+    not apply), the crowd attributes are asked one round at a time and
+    the pair is abandoned as soon as its outcome is decided — trading
+    rounds for fewer questions when ``|AC| > 1``.
+    """
+    prefs = context.prefs
+    if isinstance(request, MultiwayRequest):
+        question = MultiwayQuestion(request.candidates, request.attribute)
+        apply_multiway_answers(
+            prefs, context.crowd.ask_multiway_round([question])
+        )
+        return
+    attributes = _request_attributes(prefs, request)
+    if not attributes:
+        return
+    if context.ac_round_robin and len(attributes) > 1:
+        for attribute in attributes:
+            answers = context.crowd.ask_pairwise_round(
+                [PairwiseQuestion(request.left, request.right, attribute)]
+            )
+            apply_answers(prefs, answers)
+            if _request_decided(prefs, request):
+                break
+        return
+    questions = [
+        PairwiseQuestion(request.left, request.right, attribute)
+        for attribute in attributes
+    ]
+    answers = context.crowd.ask_pairwise_round(questions)
+    apply_answers(prefs, answers)
+
+
+def ask_batch(
+    context: ExecutionContext,
+    requests: Iterable[Union[PairRequest, MultiwayRequest]],
+) -> None:
+    """Ask a batch of requests together as one round (parallel
+    schedulers). Pairwise and m-ary micro-tasks of the same round are
+    issued back to back; both count toward the same round for latency
+    (the platform records one round per non-empty call, so mixed batches
+    cost at most two round slots — in practice a run uses one format)."""
+    prefs = context.prefs
+    questions: List[PairwiseQuestion] = []
+    multiway: List[MultiwayQuestion] = []
+    for request in requests:
+        if isinstance(request, MultiwayRequest):
+            multiway.append(
+                MultiwayQuestion(request.candidates, request.attribute)
+            )
+            continue
+        for attribute in _request_attributes(prefs, request):
+            questions.append(
+                PairwiseQuestion(request.left, request.right, attribute)
+            )
+    if questions:
+        apply_answers(prefs, context.crowd.ask_pairwise_round(questions))
+    if multiway:
+        apply_multiway_answers(
+            prefs, context.crowd.ask_multiway_round(multiway)
+        )
+
+
+def preprocess_duplicates(
+    relation: Relation,
+    crowd: SimulatedCrowd,
+    prefs: PreferenceSystem,
+) -> Set[int]:
+    """Algorithm 1 lines 1-3: resolve tuples with identical ``AK`` values.
+
+    For every group of tuples sharing all known values, pairwise
+    questions identify tuples dominated purely in ``AC``; those are
+    removed from further consideration (complete non-skyline tuples).
+    Tuples tied on every crowd attribute both survive — neither
+    dominates the other.
+
+    Returns the removed tuple indices.
+    """
+    known = relation.known_matrix()
+    groups: Dict[TupleT[float, ...], List[int]] = {}
+    for i in range(known.shape[0]):
+        groups.setdefault(tuple(known[i]), []).append(i)
+
+    removed: Set[int] = set()
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        for i, u in enumerate(members):
+            if u in removed:
+                continue
+            for v in members[i + 1:]:
+                if v in removed or u in removed:
+                    continue
+                attributes = prefs.unknown_attributes(u, v)
+                if attributes:
+                    questions = [
+                        PairwiseQuestion(u, v, a) for a in attributes
+                    ]
+                    apply_answers(prefs, crowd.ask_pairwise_round(questions))
+                if prefs.ac_dominates(u, v):
+                    removed.add(v)
+                elif prefs.ac_dominates(v, u):
+                    removed.add(u)
+    return removed

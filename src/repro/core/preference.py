@@ -1,0 +1,280 @@
+"""The preference graph ``T`` over crowd attributes (paper §3.3).
+
+Each crowd attribute maintains a :class:`PreferenceGraph`: nodes are
+tuples, an edge ``u → v`` records "``u`` preferred over ``v``", and
+reachability gives transitive preferences. Crowds may also answer
+"equally preferred"; tied tuples are merged into equivalence classes via
+union-find, and edges connect class representatives.
+
+Noisy crowds can produce answers that contradict earlier (transitively
+derived) knowledge — e.g. three questions of one parallel round forming a
+cycle. The paper does not discuss this case; the default
+:attr:`ContradictionPolicy.KEEP_FIRST` keeps ``T`` acyclic by rejecting
+the newcomer (first-arrival wins), and :attr:`ContradictionPolicy.RAISE`
+turns contradictions into errors for the perfect-crowd setting.
+
+:class:`PreferenceSystem` bundles ``|AC|`` graphs and provides the
+AC-level dominance tests used by the pruning rules (Corollaries 1-2,
+Lemma 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.crowd.questions import Preference
+from repro.exceptions import PreferenceConflictError
+
+
+class ContradictionPolicy(enum.Enum):
+    """What to do when a new answer contradicts derived knowledge."""
+
+    KEEP_FIRST = "keep_first"
+    RAISE = "raise"
+
+
+class PreferenceGraph:
+    """Strict preferences + tie classes over ``n`` tuples, one attribute."""
+
+    def __init__(
+        self,
+        n: int,
+        policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ):
+        self._n = n
+        self._policy = policy
+        self._parent = list(range(n))
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._descendants: Dict[int, Set[int]] = {}
+        self.rejected_answers = 0
+
+    def _invalidate(self) -> None:
+        self._descendants.clear()
+
+    # -- union-find ------------------------------------------------------
+
+    def _find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return ra
+        keep, drop = (ra, rb) if ra < rb else (rb, ra)
+        self._parent[drop] = keep
+        out = self._out.pop(drop, set())
+        self._out.setdefault(keep, set()).update(out)
+        for succ in out:
+            succs_in = self._in.get(succ)
+            if succs_in is not None:
+                succs_in.discard(drop)
+                succs_in.add(keep)
+        incoming = self._in.pop(drop, set())
+        self._in.setdefault(keep, set()).update(incoming)
+        for pred in incoming:
+            preds_out = self._out.get(pred)
+            if preds_out is not None:
+                preds_out.discard(drop)
+                preds_out.add(keep)
+        self._out.get(keep, set()).discard(keep)
+        self._in.get(keep, set()).discard(keep)
+        self._invalidate()
+        return keep
+
+    # -- reachability ----------------------------------------------------
+
+    def _reaches(self, source: int, target: int) -> bool:
+        """Is ``source ≺ target`` derivable (transitively)?
+
+        Descendant sets are memoized per representative and invalidated
+        on every mutation — pruning performs many reachability queries
+        between consecutive answers.
+        """
+        if source == target:
+            return False
+        cached = self._descendants.get(source)
+        if cached is None:
+            cached = set()
+            stack = [source]
+            while stack:
+                node = stack.pop()
+                for succ in self._out.get(node, ()):
+                    if succ not in cached:
+                        cached.add(succ)
+                        stack.append(succ)
+            self._descendants[source] = cached
+        return target in cached
+
+    # -- public API ------------------------------------------------------
+
+    def relation(self, u: int, v: int) -> Optional[Preference]:
+        """The derivable relation between ``u`` and ``v``.
+
+        Returns ``LEFT`` when ``u`` preferred, ``RIGHT`` when ``v``
+        preferred, ``EQUAL`` when tied, ``None`` when unknown.
+        """
+        ru, rv = self._find(u), self._find(v)
+        if ru == rv:
+            return Preference.EQUAL
+        if self._reaches(ru, rv):
+            return Preference.LEFT
+        if self._reaches(rv, ru):
+            return Preference.RIGHT
+        return None
+
+    def knows(self, u: int, v: int) -> bool:
+        """Whether any relation between ``u`` and ``v`` is derivable."""
+        return self.relation(u, v) is not None
+
+    def add_answer(self, u: int, v: int, answer: Preference) -> bool:
+        """Record an aggregated crowd answer for the pair ``(u, v)``.
+
+        Returns True when the answer was incorporated, False when it was
+        rejected for contradicting derived knowledge (KEEP_FIRST policy).
+        """
+        known = self.relation(u, v)
+        if known is not None:
+            if known is answer:
+                return True
+            self.rejected_answers += 1
+            if self._policy is ContradictionPolicy.RAISE:
+                raise PreferenceConflictError(
+                    f"answer {answer.value} for ({u}, {v}) contradicts "
+                    f"derived relation {known.value}"
+                )
+            return False
+        if answer is Preference.EQUAL:
+            self._union(u, v)
+            return True
+        if answer is Preference.LEFT:
+            src, dst = self._find(u), self._find(v)
+        else:
+            src, dst = self._find(v), self._find(u)
+        self._out.setdefault(src, set()).add(dst)
+        self._in.setdefault(dst, set()).add(src)
+        self._invalidate()
+        return True
+
+    def edges(self) -> List[tuple]:
+        """All direct edges ``(u_rep, v_rep)`` — for inspection/tests."""
+        return [
+            (src, dst) for src, succs in self._out.items() for dst in succs
+        ]
+
+    def class_of(self, u: int) -> int:
+        """Representative of ``u``'s tie class."""
+        return self._find(u)
+
+
+class PreferenceSystem:
+    """One :class:`PreferenceGraph` per crowd attribute.
+
+    Provides the AC-level predicates used by the pruning machinery. All
+    predicates are *knowledge-relative*: they return what is currently
+    derivable from answered questions, never consulting latent values.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_attributes: int,
+        policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ):
+        if num_attributes < 1:
+            raise ValueError("need at least one crowd attribute")
+        self._n = n
+        self.graphs = [PreferenceGraph(n, policy) for _ in range(num_attributes)]
+
+    @property
+    def num_attributes(self) -> int:
+        """``|AC|``."""
+        return len(self.graphs)
+
+    def relation(self, u: int, v: int, attribute: int) -> Optional[Preference]:
+        """Derivable relation on one crowd attribute."""
+        return self.graphs[attribute].relation(u, v)
+
+    def add_answer(
+        self, u: int, v: int, attribute: int, answer: Preference
+    ) -> bool:
+        """Record an aggregated answer on one crowd attribute."""
+        return self.graphs[attribute].add_answer(u, v, answer)
+
+    def unknown_attributes(self, u: int, v: int) -> List[int]:
+        """Crowd attributes on which ``(u, v)`` is not yet derivable."""
+        return [
+            j for j, graph in enumerate(self.graphs) if not graph.knows(u, v)
+        ]
+
+    def fully_known(self, u: int, v: int) -> bool:
+        """Whether the pair is derivable on every crowd attribute."""
+        return not self.unknown_attributes(u, v)
+
+    def weakly_prefers_all(self, u: int, v: int) -> bool:
+        """``u ⪯_AC v`` derivable: on every attribute ``u ≺ v`` or tie."""
+        for graph in self.graphs:
+            rel = graph.relation(u, v)
+            if rel is None or rel is Preference.RIGHT:
+                return False
+        return True
+
+    def ac_dominates(self, u: int, v: int) -> bool:
+        """``u ≺_AC v`` derivable: weakly preferred everywhere, strictly
+        somewhere."""
+        strict = False
+        for graph in self.graphs:
+            rel = graph.relation(u, v)
+            if rel is None or rel is Preference.RIGHT:
+                return False
+            if rel is Preference.LEFT:
+                strict = True
+        return strict
+
+    def cannot_dominate(self, u: int, v: int) -> bool:
+        """``u ≺_A v`` is already ruled out: some crowd attribute is
+        known to strictly prefer ``v``."""
+        return any(
+            graph.relation(u, v) is Preference.RIGHT
+            for graph in self.graphs
+        )
+
+    def ac_equal(self, u: int, v: int) -> bool:
+        """``u =_AC v`` derivable on every crowd attribute."""
+        return all(
+            graph.relation(u, v) is Preference.EQUAL for graph in self.graphs
+        )
+
+    def sky_ac(self, members: Sequence[int]) -> List[int]:
+        """``SKY_AC`` of a tuple subset under current knowledge (§3.3).
+
+        Removes members strictly AC-dominated by another member, and
+        deduplicates fully-tied members (keeping the lowest index) — a
+        tied twin answers the same questions, so asking both is
+        redundant. Order of the survivors follows ``members``.
+        """
+        survivors: List[int] = []
+        for v in members:
+            dominated = False
+            for u in members:
+                if u == v:
+                    continue
+                if self.ac_dominates(u, v):
+                    dominated = True
+                    break
+                if self.ac_equal(u, v) and u < v:
+                    dominated = True
+                    break
+            if not dominated:
+                survivors.append(v)
+        return survivors
+
+    def total_rejected(self) -> int:
+        """Total contradicted answers across all attributes."""
+        return sum(graph.rejected_answers for graph in self.graphs)

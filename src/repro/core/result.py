@@ -1,0 +1,93 @@
+"""Result container for crowd-enabled skyline executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple as TupleT
+
+from repro.crowd.platform import CrowdStats
+from repro.crowd.questions import PairwiseQuestion, Preference
+from repro.data.relation import Relation
+
+
+@dataclass
+class CrowdSkylineResult:
+    """Outcome of a crowd-enabled skyline computation.
+
+    Attributes
+    ----------
+    skyline:
+        Tuple indices of the crowdsourced skyline ``SKY_A(R)``.
+    stats:
+        Question/round/cost accounting from the crowd platform.
+    question_log:
+        The asked micro-questions in execution order, as
+        ``(round, question, aggregated answer)`` — enables the golden
+        trace tests against the paper's worked examples.
+    algorithm:
+        Name of the algorithm/scheduler that produced the result.
+    rejected_answers:
+        Aggregated answers rejected for contradicting earlier knowledge
+        (only nonzero with noisy crowds).
+    """
+
+    skyline: Set[int]
+    stats: CrowdStats
+    question_log: List[TupleT[int, PairwiseQuestion, Preference]] = field(
+        default_factory=list
+    )
+    algorithm: str = "crowdsky"
+    rejected_answers: int = 0
+    #: Budgeted runs: did the question budget run out before completion?
+    budget_exhausted: bool = False
+    #: Budgeted runs: tuples whose status was definitively decided.
+    complete_tuples: Optional[int] = None
+
+    def skyline_labels(self, relation: Relation) -> Set[str]:
+        """The skyline as human-readable labels."""
+        return {relation.label(i) for i in sorted(self.skyline)}
+
+    def asked_pairs(self) -> List[TupleT[int, int]]:
+        """The asked pairs (tuple-index pairs) in order, attributes merged."""
+        seen = []
+        last: Optional[TupleT[int, int]] = None
+        for _, question, _ in self.question_log:
+            pair = (question.left, question.right)
+            if pair != last:
+                seen.append(pair)
+            last = pair
+        return seen
+
+    def round_table(self, relation: Optional[Relation] = None) -> List[dict]:
+        """Per-round question listing (the shape of the paper's Table 3).
+
+        Returns one row per executed round with the asked pairs, labelled
+        when a relation is provided.
+        """
+        by_round: dict = {}
+        for round_number, question, _ in self.question_log:
+            if relation is not None:
+                pair = (
+                    f"({relation.label(question.left)}, "
+                    f"{relation.label(question.right)})"
+                )
+            else:
+                pair = f"({question.left}, {question.right})"
+            by_round.setdefault(round_number, []).append(pair)
+        return [
+            {"round": round_number, "questions": ", ".join(pairs)}
+            for round_number, pairs in sorted(by_round.items())
+        ]
+
+    def summary(self, relation: Optional[Relation] = None) -> str:
+        """One-line human-readable summary."""
+        labels = ""
+        if relation is not None:
+            labels = " {" + ", ".join(
+                sorted(relation.label(i) for i in self.skyline)
+            ) + "}"
+        return (
+            f"{self.algorithm}: |skyline|={len(self.skyline)}{labels} "
+            f"questions={self.stats.questions} rounds={self.stats.rounds} "
+            f"cost=${self.stats.hit_cost():.2f}"
+        )

@@ -1,0 +1,268 @@
+"""Per-tuple evaluation state machine (paper §3.1-§3.4).
+
+A :class:`TupleTask` drives one tuple ``t`` through the CrowdSky pipeline:
+
+1. **Activation** — apply P1 (drop complete non-skyline tuples from
+   ``DS(t)``, Corollary 1) and P2 (reduce to ``SKY_AC(DS(t))`` under
+   current knowledge, Corollary 2), then build the probing pair list
+   ``P(t)`` ordered by descending ``freq(u, v)`` (§3.4 — see DESIGN.md on
+   the prose/pseudocode discrepancy).
+2. **Probing (P3)** — ask pairs inside ``DS(t)``; each resolved pair
+   removes its less-preferred member and all of that member's pending
+   pairs.
+3. **Asking** — generate ``Q(t) = {(s, t) | s ∈ DS(t)}``; stop early as
+   soon as some ``s`` dominates ``t`` (complete non-skyline tuple); if
+   every ``s`` fails to dominate, ``t`` is a complete skyline tuple.
+
+The task communicates with its scheduler through :meth:`advance`: it
+returns the next *pair* that needs crowd input, consuming for free every
+step already derivable from the preference system ``T``. Schedulers
+(serial, ParallelDSet, ParallelSL) differ only in how they interleave
+``advance`` calls and batch the emitted pairs into rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple as TupleT
+
+from repro.core.preference import PreferenceSystem
+from repro.skyline.dominating import FrequencyOracle
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a tuple evaluation."""
+
+    PENDING = "pending"
+    PROBING = "probing"
+    ASKING = "asking"
+    DONE = "done"
+
+
+class TaskOutcome(enum.Enum):
+    """Completion status of a tuple (Definition 4)."""
+
+    SKYLINE = "skyline"
+    NON_SKYLINE = "non-skyline"
+
+
+@dataclass(frozen=True)
+class PairRequest:
+    """A pair whose (partially) unknown preferences must be asked.
+
+    ``force`` requests the full pair even when parts are transitively
+    derivable — used by the DSet/P1 variants, which predate the
+    preference-tree inference introduced with P2 (§3.3).
+    """
+
+    left: int
+    right: int
+    force: bool = False
+    #: True for Q(t) questions "does left dominate right?", where a single
+    #: attribute preferring ``right`` already settles the outcome — the
+    #: round-robin extension uses this to skip the remaining attributes.
+    dominance_check: bool = False
+
+
+@dataclass(frozen=True)
+class MultiwayRequest:
+    """An m-ary probing request: which of these tuples is most preferred?
+
+    Emitted instead of probe pairs when the engine runs with
+    ``multiway > 2`` (the §2.1 extension); the winner's answer yields
+    ``k − 1`` preference edges at once.
+    """
+
+    candidates: TupleT[int, ...]
+    attribute: int = 0
+
+
+class TupleTask:
+    """Evaluation of one tuple ``t`` against its dominating set.
+
+    Parameters
+    ----------
+    t:
+        The tuple index under evaluation.
+    dominating_set:
+        ``DS(t)`` members in evaluation order (ascending ``|DS(s)|``).
+    prefs:
+        The shared preference system ``T``.
+    frequency:
+        ``freq(u, v)`` oracle for probing order.
+    use_p1, use_p2, use_p3:
+        Pruning toggles (all off = the paper's plain "DSet" variant, all
+        on = full CrowdSky).
+    probe_ascending:
+        Ablation switch: probe pairs in *ascending* ``freq`` order (the
+        literal reading of Algorithm 1 line 11) instead of the prose's
+        descending order.
+    multiway:
+        Probe with m-ary questions of up to this many tuples (§2.1's
+        extension; only effective with a single crowd attribute).
+    """
+
+    def __init__(
+        self,
+        t: int,
+        dominating_set: Sequence[int],
+        prefs: PreferenceSystem,
+        frequency: FrequencyOracle,
+        use_p1: bool = True,
+        use_p2: bool = True,
+        use_p3: bool = True,
+        probe_ascending: bool = False,
+        multiway: int = 2,
+    ):
+        if multiway < 2:
+            raise ValueError("multiway group size must be at least 2")
+        self.t = t
+        self._ds: List[int] = list(dominating_set)
+        self._prefs = prefs
+        self._frequency = frequency
+        self._use_p1 = use_p1
+        self._use_p2 = use_p2
+        self._use_p3 = use_p3
+        self._probe_ascending = probe_ascending
+        # m-ary probing only collapses groups cleanly on one attribute;
+        # with several crowd attributes the winner need not dominate.
+        self._multiway = multiway if prefs.num_attributes == 1 else 2
+        self._asked_groups: Set[TupleT[int, ...]] = set()
+        self._probe_pairs: List[TupleT[int, int]] = []
+        self._ask_index = 0
+        self._requested: Set[int] = set()
+        self.state = TaskState.PENDING
+        self.outcome: Optional[TaskOutcome] = None
+
+    @property
+    def dominating_set(self) -> List[int]:
+        """The (pruned) dominating set as it currently stands."""
+        return list(self._ds)
+
+    def activate(self, complete_non_skyline: Set[int]) -> None:
+        """Apply activation-time pruning and enter the probing phase."""
+        if self.state is not TaskState.PENDING:
+            raise RuntimeError(f"task {self.t} activated twice")
+        if self._use_p1:
+            self._ds = [s for s in self._ds if s not in complete_non_skyline]
+        if self._use_p2:
+            self._ds = self._prefs.sky_ac(self._ds)
+        if self._use_p3 and len(self._ds) > 1:
+            self._probe_pairs = self._sorted_probe_pairs(self._ds)
+        self.state = TaskState.PROBING
+
+    def _sorted_probe_pairs(
+        self, members: Sequence[int]
+    ) -> List[TupleT[int, int]]:
+        members = list(members)
+        freq = self._frequency.freq_matrix(members)
+        pairs = [
+            (members[i], members[j], int(freq[i, j]))
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        ]
+        # Highest pruning power first (§3.4 prose; Algorithm 1 line 11
+        # says ascending — see DESIGN.md); deterministic index tie-break.
+        sign = 1 if self._probe_ascending else -1
+        pairs.sort(key=lambda p: (sign * p[2], p[0], p[1]))
+        return [(u, v) for u, v, _ in pairs]
+
+    def _remove_member(self, member: int) -> None:
+        self._ds = [s for s in self._ds if s != member]
+        self._probe_pairs = [
+            pair for pair in self._probe_pairs if member not in pair
+        ]
+
+    def _resolve_probe_pair(self, u: int, v: int) -> bool:
+        """Try to settle a probe pair from current knowledge.
+
+        Returns True when the pair is settled (and removed)."""
+        if self._prefs.ac_dominates(u, v):
+            self._remove_member(v)
+            return True
+        if self._prefs.ac_dominates(v, u):
+            self._remove_member(u)
+            return True
+        if self._prefs.ac_equal(u, v):
+            self._remove_member(max(u, v))
+            return True
+        if self._prefs.fully_known(u, v):
+            # Known but incomparable across crowd attributes (|AC| > 1):
+            # neither member prunes the other; drop the pair.
+            self._probe_pairs = [
+                pair for pair in self._probe_pairs if pair != (u, v)
+            ]
+            return True
+        return False
+
+    def advance(self) -> Optional[PairRequest]:
+        """Return the next pair needing crowd input, or None when done.
+
+        All steps derivable from ``T`` are consumed without emitting a
+        request; callers must re-invoke :meth:`advance` after feeding the
+        answers of an emitted request into the preference system.
+        """
+        if self.state is TaskState.PENDING:
+            raise RuntimeError(f"task {self.t} not activated")
+
+        while self.state is TaskState.PROBING and self._multiway > 2:
+            # m-ary probing: consume derivable knowledge, then ask the
+            # next group of up to k mutually-unresolved members.
+            self._ds = self._prefs.sky_ac(self._ds)
+            if len(self._ds) <= 1 or not self._use_p3:
+                self.state = TaskState.ASKING
+                break
+            group = tuple(self._ds[: self._multiway])
+            if group in self._asked_groups:  # pragma: no cover - guarded
+                raise RuntimeError(
+                    f"multiway probing made no progress on {group}"
+                )
+            self._asked_groups.add(group)
+            return MultiwayRequest(group)
+
+        while self.state is TaskState.PROBING:
+            if not self._probe_pairs:
+                self.state = TaskState.ASKING
+                break
+            u, v = self._probe_pairs[0]
+            if u not in self._ds or v not in self._ds:
+                self._probe_pairs.pop(0)
+                continue
+            if self._resolve_probe_pair(u, v):
+                continue
+            return PairRequest(u, v)
+
+        while self.state is TaskState.ASKING:
+            if self._ask_index >= len(self._ds):
+                if self.outcome is None:
+                    self.outcome = TaskOutcome.SKYLINE
+                self.state = TaskState.DONE
+                break
+            s = self._ds[self._ask_index]
+            if not self._use_p2 and s not in self._requested:
+                # Without P2 there is no preference-tree inference: every
+                # question of Q(t) is asked outright (§3.1-§3.2).
+                self._requested.add(s)
+                return PairRequest(s, self.t, force=True,
+                                   dominance_check=True)
+            if self._prefs.weakly_prefers_all(s, self.t):
+                # s ≺_AK t and s ⪯_AC t ⇒ s ≺_A t: t is a complete
+                # non-skyline tuple (Definition 4) — the remaining
+                # questions of Q(t) are unnecessary in every variant.
+                self.outcome = TaskOutcome.NON_SKYLINE
+                self.state = TaskState.DONE
+                break
+            if self._prefs.fully_known(s, self.t) or (
+                self._use_p2 and self._prefs.cannot_dominate(s, self.t)
+            ):
+                # Fully answered, or dominance already ruled out by a
+                # partial answer (e.g. from round-robin asking) — either
+                # way s cannot make t a non-skyline tuple.
+                self._ask_index += 1
+                continue
+            return PairRequest(s, self.t, dominance_check=True)
+
+        if self.state is TaskState.DONE and self.outcome is None:
+            self.outcome = TaskOutcome.SKYLINE
+        return None

@@ -1,0 +1,70 @@
+"""Simulated crowdsourcing platform (paper §2.1, §5, §6).
+
+This subpackage replaces the paper's Amazon Mechanical Turk deployment
+with a faithful simulation:
+
+* :mod:`repro.crowd.questions` — pairwise (ternary) and unary questions,
+* :mod:`repro.crowd.oracle` — ground-truth answers from latent values,
+* :mod:`repro.crowd.workers` — worker error models (perfect, Bernoulli
+  ``p``, per-worker skill, spammer) and the worker pool,
+* :mod:`repro.crowd.voting` — static and dynamic majority voting (§5),
+* :mod:`repro.crowd.platform` — round-based question execution, HIT
+  batching, pricing and statistics (§6.2's cost formula).
+"""
+
+from repro.crowd.hits import Hit, HitLedger
+from repro.crowd.latency import LatencyEstimate, estimate_latency
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.platform import CrowdStats, SimulatedCrowd
+from repro.crowd.quality import (
+    QualityAwareCrowd,
+    WorkerQualityTracker,
+    weighted_vote,
+)
+from repro.crowd.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+    UnaryQuestion,
+)
+from repro.crowd.voting import (
+    DynamicVoting,
+    StaticVoting,
+    VotingPolicy,
+    majority_vote,
+)
+from repro.crowd.workers import (
+    BernoulliWorker,
+    DifficultyAwareWorker,
+    PerfectWorker,
+    SkilledWorker,
+    SpammerWorker,
+    WorkerPool,
+)
+
+__all__ = [
+    "BernoulliWorker",
+    "CrowdStats",
+    "Hit",
+    "HitLedger",
+    "LatencyEstimate",
+    "MultiwayQuestion",
+    "QualityAwareCrowd",
+    "WorkerQualityTracker",
+    "estimate_latency",
+    "weighted_vote",
+    "DynamicVoting",
+    "GroundTruthOracle",
+    "PairwiseQuestion",
+    "DifficultyAwareWorker",
+    "PerfectWorker",
+    "Preference",
+    "SimulatedCrowd",
+    "SkilledWorker",
+    "SpammerWorker",
+    "StaticVoting",
+    "UnaryQuestion",
+    "VotingPolicy",
+    "WorkerPool",
+    "majority_vote",
+]

@@ -1,0 +1,81 @@
+"""Wall-clock latency estimation for crowd executions (paper §2.1, §6.2).
+
+The paper measures latency in *rounds* under the assumption that each
+round takes a fixed amount of time [25]. §6.2 reports the average
+working time per HIT on AMT: 22 s for Q1 (rectangles), 49 s for Q2
+(movies) and 1 min 33 s for Q3 (pitchers) — "implying that Q3 is the
+most difficult task".
+
+This module turns round counts into estimated wall-clock time. Within a
+round all HITs run in parallel across workers, but a round cannot start
+before the previous one finished (the adaptive strategy's dependency),
+so
+
+.. math::  T ≈ rounds · (t_{hit} + t_{overhead})
+
+where ``t_overhead`` models posting/acceptance delay per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.platform import CrowdStats
+
+#: §6.2's measured mean working seconds per HIT.
+SECONDS_PER_HIT_Q1 = 22.0
+SECONDS_PER_HIT_Q2 = 49.0
+SECONDS_PER_HIT_Q3 = 93.0
+
+#: Default posting/acceptance overhead per round (AMT queueing).
+DEFAULT_ROUND_OVERHEAD = 30.0
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Estimated wall-clock latency of a crowd execution."""
+
+    rounds: int
+    seconds: float
+
+    @property
+    def hours(self) -> float:
+        """The estimate in hours."""
+        return self.seconds / 3600.0
+
+    def __str__(self) -> str:
+        if self.seconds < 120:
+            return f"{self.seconds:.0f}s"
+        if self.seconds < 7200:
+            return f"{self.seconds / 60:.1f}min"
+        return f"{self.hours:.1f}h"
+
+
+def estimate_latency(
+    stats: CrowdStats,
+    seconds_per_hit: float = SECONDS_PER_HIT_Q2,
+    round_overhead: float = DEFAULT_ROUND_OVERHEAD,
+) -> LatencyEstimate:
+    """Estimate wall-clock time from round counts.
+
+    Parameters
+    ----------
+    stats:
+        The execution's :class:`CrowdStats`.
+    seconds_per_hit:
+        Mean working time of one HIT (§6.2's per-query measurements are
+        exported as module constants).
+    round_overhead:
+        Fixed posting/acceptance delay added per round.
+
+    Notes
+    -----
+    HITs *within* a round run concurrently (independent questions,
+    different workers), so a round costs one HIT time regardless of how
+    many questions it contains — which is exactly why the paper
+    minimizes rounds rather than questions for latency.
+    """
+    if seconds_per_hit < 0 or round_overhead < 0:
+        raise ValueError("latency parameters must be non-negative")
+    seconds = stats.rounds * (seconds_per_hit + round_overhead)
+    return LatencyEstimate(rounds=stats.rounds, seconds=seconds)

@@ -1,0 +1,329 @@
+"""The round-based simulated crowdsourcing platform (paper §2.1, §6.2).
+
+The platform executes *rounds*: a scheduler hands over a batch of
+micro-questions; each question is assigned workers per the voting policy;
+worker answers are aggregated by majority; the aggregated answers come
+back at the end of the round. Latency is the number of rounds, monetary
+cost follows the paper's AMT formula
+
+.. math::  cost = price · ω · \\sum_i \\lceil |Q_i| / 5 \\rceil
+
+(price $0.02/question, ``ω = 5`` workers, 5 questions per HIT), tracked by
+:class:`CrowdStats` alongside raw question and worker-assignment counts.
+
+Duplicate micro-questions inside a round are merged (one HIT serves all
+requesters), and previously answered micro-questions are served from the
+platform's answer cache free of charge — questions are never re-asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, Iterable, List, Optional, Tuple as TupleT
+
+import numpy as np
+
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+    UnaryQuestion,
+)
+from repro.crowd.voting import DEFAULT_OMEGA, StaticVoting, VotingPolicy
+from repro.crowd.workers import WorkerPool
+from repro.data.relation import Relation
+from repro.exceptions import BudgetExhaustedError, CrowdPlatformError
+
+#: AMT price per question per worker used in the paper's §6.2.
+DEFAULT_PRICE = 0.02
+
+#: Questions batched per HIT in the paper's §6.2.
+QUESTIONS_PER_HIT = 5
+
+
+@dataclass
+class CrowdStats:
+    """Aggregate statistics of a crowdsourced execution."""
+
+    questions: int = 0
+    rounds: int = 0
+    worker_assignments: int = 0
+    round_sizes: List[int] = field(default_factory=list)
+    cached_hits: int = 0
+
+    def record_round(self, num_questions: int, num_assignments: int) -> None:
+        """Account one executed round."""
+        self.rounds += 1
+        self.questions += num_questions
+        self.worker_assignments += num_assignments
+        self.round_sizes.append(num_questions)
+
+    def hit_cost(
+        self,
+        price: float = DEFAULT_PRICE,
+        omega: int = DEFAULT_OMEGA,
+        per_hit: int = QUESTIONS_PER_HIT,
+    ) -> float:
+        """Monetary cost under the paper's HIT formula (§6.2)."""
+        hits = sum(ceil(size / per_hit) for size in self.round_sizes if size)
+        return price * omega * hits
+
+    def assignment_cost(self, price: float = DEFAULT_PRICE) -> float:
+        """Cost when paying each worker assignment individually."""
+        return price * self.worker_assignments
+
+    def merge(self, other: "CrowdStats") -> "CrowdStats":
+        """Combine two executions (e.g. preprocessing + main run)."""
+        merged = CrowdStats(
+            questions=self.questions + other.questions,
+            rounds=self.rounds + other.rounds,
+            worker_assignments=self.worker_assignments
+            + other.worker_assignments,
+            round_sizes=self.round_sizes + other.round_sizes,
+            cached_hits=self.cached_hits + other.cached_hits,
+        )
+        return merged
+
+
+class SimulatedCrowd:
+    """Executes question rounds against simulated workers.
+
+    Parameters
+    ----------
+    relation:
+        The dataset; its latent values feed the ground-truth oracle.
+    pool:
+        Worker pool (defaults to a perfect pool — the §3/§4 assumption).
+    voting:
+        Voting policy deciding workers per question (default: static ω=5
+        for noisy pools; a perfect pool only ever needs one worker, but
+        the policy is honoured regardless).
+    rng, seed:
+        Randomness for worker draws and error models.
+    max_questions:
+        Optional hard budget; exceeding it raises
+        :class:`~repro.exceptions.BudgetExhaustedError`.
+    ledger:
+        Optional :class:`repro.crowd.hits.HitLedger` recording the HIT
+        structure and sampled working times of every round.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        pool: Optional[WorkerPool] = None,
+        voting: Optional[VotingPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        max_questions: Optional[int] = None,
+        ledger: Optional["HitLedger"] = None,
+    ):
+        if rng is not None and seed is not None:
+            raise CrowdPlatformError("pass either seed or rng, not both")
+        self._relation = relation
+        self._oracle = GroundTruthOracle(relation)
+        self._pool = pool if pool is not None else WorkerPool.perfect()
+        self._voting = voting if voting is not None else StaticVoting()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._max_questions = max_questions
+        self._ledger = ledger
+        self._answers: Dict[TupleT[int, int, int], Preference] = {}
+        self._unary_answers: Dict[TupleT[int, int], float] = {}
+        self._multiway_answers: Dict[TupleT, int] = {}
+        self.stats = CrowdStats()
+        #: (round number, question, aggregated answer) per fresh question,
+        #: in execution order — feeds the golden trace tests.
+        self.question_log: List[
+            TupleT[int, PairwiseQuestion, Preference]
+        ] = []
+
+    @property
+    def relation(self) -> Relation:
+        """The dataset this crowd answers questions about."""
+        return self._relation
+
+    def set_budget(self, max_questions: Optional[int]) -> None:
+        """(Re)set the hard question budget; None removes it."""
+        self._max_questions = max_questions
+
+    def cached_answer(
+        self, question: PairwiseQuestion
+    ) -> Optional[Preference]:
+        """A previously aggregated answer, oriented to ``question``."""
+        answer = self._answers.get(question.key())
+        if answer is None:
+            return None
+        if question.left > question.right:
+            return answer.flipped()
+        return answer
+
+    def ask_pairwise_round(
+        self, questions: Iterable[PairwiseQuestion]
+    ) -> Dict[PairwiseQuestion, Preference]:
+        """Execute one round of pairwise micro-questions.
+
+        Duplicates (by symmetric key) are merged; already-answered
+        questions are served from cache without cost or a new round.
+        Returns answers oriented to each *canonical* question; use
+        :meth:`cached_answer` for arbitrary orientations.
+        """
+        unique: List[PairwiseQuestion] = []
+        fresh: List[PairwiseQuestion] = []
+        seen = set()
+        for question in questions:
+            key = question.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            canonical = question.canonical()
+            unique.append(canonical)
+            if key in self._answers:
+                self.stats.cached_hits += 1
+            else:
+                fresh.append(canonical)
+
+        if not fresh:
+            return {q: self._answers[q.key()] for q in unique}
+
+        if self._max_questions is not None:
+            asked = self.stats.questions + len(fresh)
+            if asked > self._max_questions:
+                raise BudgetExhaustedError(
+                    f"question budget of {self._max_questions} exceeded"
+                )
+
+        assignments = 0
+        for question in fresh:
+            omega = self._voting.workers_for(question)
+            workers = self._pool.draw(self._rng, omega)
+            votes = [
+                worker.answer_pairwise(question, self._oracle, self._rng)
+                for worker in workers
+            ]
+            answer = self._voting.aggregate(votes)
+            assignments += omega
+            self._answers[question.key()] = answer
+        self.stats.record_round(len(fresh), assignments)
+        if self._ledger is not None:
+            self._ledger.record_round(self.stats.rounds, len(fresh))
+        for question in fresh:
+            self.question_log.append(
+                (self.stats.rounds, question, self._answers[question.key()])
+            )
+        return {q: self._answers[q.key()] for q in unique}
+
+    def ask_pairwise(self, question: PairwiseQuestion) -> Preference:
+        """Ask a single question as its own round (serial execution)."""
+        cached = self.cached_answer(question)
+        if cached is not None:
+            self.stats.cached_hits += 1
+            return cached
+        self.ask_pairwise_round([question])
+        answer = self.cached_answer(question)
+        assert answer is not None
+        return answer
+
+    def ask_multiway_round(
+        self, questions: Iterable[MultiwayQuestion]
+    ) -> Dict[MultiwayQuestion, int]:
+        """Execute one round of m-ary questions (§2.1's extension).
+
+        Each micro-task shows a worker all candidates at once and asks
+        for the most preferred one; votes are aggregated by plurality
+        (ties broken toward the lowest tuple index). One m-ary question
+        counts as one question for cost purposes.
+        """
+        unique: List[MultiwayQuestion] = []
+        fresh: List[MultiwayQuestion] = []
+        seen = set()
+        for question in questions:
+            key = question.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(question)
+            if key in self._multiway_answers:
+                self.stats.cached_hits += 1
+            else:
+                fresh.append(question)
+        if not fresh:
+            return {q: self._multiway_answers[q.key()] for q in unique}
+
+        if self._max_questions is not None:
+            if self.stats.questions + len(fresh) > self._max_questions:
+                raise BudgetExhaustedError(
+                    f"question budget of {self._max_questions} exceeded"
+                )
+
+        assignments = 0
+        for question in fresh:
+            omega = self._voting.workers_for(
+                PairwiseQuestion(
+                    question.candidates[0],
+                    question.candidates[1],
+                    question.attribute,
+                )
+            )
+            workers = self._pool.draw(self._rng, omega)
+            votes = [
+                worker.answer_multiway(question, self._oracle, self._rng)
+                for worker in workers
+            ]
+            counts: Dict[int, int] = {}
+            for vote in votes:
+                counts[vote] = counts.get(vote, 0) + 1
+            winner = min(
+                counts, key=lambda candidate: (-counts[candidate], candidate)
+            )
+            assignments += omega
+            self._multiway_answers[question.key()] = winner
+        self.stats.record_round(len(fresh), assignments)
+        if self._ledger is not None:
+            self._ledger.record_round(self.stats.rounds, len(fresh))
+        return {q: self._multiway_answers[q.key()] for q in unique}
+
+    def ask_unary_round(
+        self, questions: Iterable[UnaryQuestion], omega: int = DEFAULT_OMEGA
+    ) -> Dict[UnaryQuestion, float]:
+        """Execute one round of unary questions (the [12] format).
+
+        Each question is answered by ``omega`` workers whose numeric
+        estimates are averaged.
+        """
+        fresh: List[UnaryQuestion] = []
+        results: Dict[UnaryQuestion, float] = {}
+        for question in questions:
+            key = (question.tuple_index, question.attribute)
+            if key in self._unary_answers:
+                self.stats.cached_hits += 1
+                results[question] = self._unary_answers[key]
+            else:
+                fresh.append(question)
+        if not fresh:
+            return results
+
+        if self._max_questions is not None:
+            if self.stats.questions + len(fresh) > self._max_questions:
+                raise BudgetExhaustedError(
+                    f"question budget of {self._max_questions} exceeded"
+                )
+
+        assignments = 0
+        for question in fresh:
+            workers = self._pool.draw(self._rng, omega)
+            estimates = [
+                worker.answer_unary(question, self._oracle, self._rng)
+                for worker in workers
+            ]
+            value = float(np.mean(estimates))
+            assignments += omega
+            self._unary_answers[
+                (question.tuple_index, question.attribute)
+            ] = value
+            results[question] = value
+        self.stats.record_round(len(fresh), assignments)
+        if self._ledger is not None:
+            self._ledger.record_round(self.stats.rounds, len(fresh))
+        return results

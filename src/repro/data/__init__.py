@@ -1,0 +1,37 @@
+"""Datasets and the relation model (known + crowd attributes).
+
+This subpackage provides:
+
+* :mod:`repro.data.relation` — the schema/tuple/relation abstraction with
+  known attributes ``AK`` and crowd attributes ``AC`` (paper §2.2),
+* :mod:`repro.data.synthetic` — the Börzsönyi-style independent (IND),
+  anti-correlated (ANT) and correlated (COR) generators used in §6.1,
+* :mod:`repro.data.rectangles`, :mod:`repro.data.movies`,
+  :mod:`repro.data.mlb` — the three real-life datasets of §6.2 (Q1-Q3),
+  embedded so the evaluation is runnable offline,
+* :mod:`repro.data.toy` — the worked toy datasets of Figures 1 and 3.
+"""
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.data.toy import figure1_dataset, figure3_dataset
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Direction",
+    "Distribution",
+    "Relation",
+    "Schema",
+    "Tuple",
+    "figure1_dataset",
+    "figure3_dataset",
+    "generate_synthetic",
+]

@@ -1,0 +1,105 @@
+"""The MLB pitchers dataset for query Q3 (paper §6.2).
+
+The paper uses 40 MLB pitchers from the 2013 season with
+``AK = {wins MAX, strike_outs MAX, ERA MIN}`` and the crowd attribute
+``valuable MAX`` — how valuable crowds believe each pitcher is. The paper
+validates the crowdsourced skyline against the 2013 Cy Young award
+candidates and reports the skyline
+``{Clayton Kershaw, Bartolo Colon, Yu Darvish, Max Scherzer}``.
+
+Reproduction: we embed 40 pitchers with their (approximate) 2013 season
+statistics. The latent "valuable" ground truth is a WAR-style composite
+``2·W + 0.05·SO + 15·(5 − ERA)`` — strictly increasing in wins and
+strikeouts and decreasing in ERA, so perceived value is consistent with
+pitching dominance (a pitcher beaten on every stat is also perceived as
+less valuable). Under that model the crowdsourced skyline equals the
+paper's four Cy Young candidates; the unit tests pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple as TupleT
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+
+#: (name, wins, strikeouts, ERA) for the 2013 season (approximate).
+PITCHERS: Sequence[TupleT[str, int, int, float]] = (
+    ("Clayton Kershaw", 16, 232, 1.83),
+    ("Max Scherzer", 21, 240, 2.90),
+    ("Yu Darvish", 13, 277, 2.83),
+    ("Bartolo Colon", 18, 117, 2.65),
+    ("Adam Wainwright", 19, 219, 2.94),
+    ("Jordan Zimmermann", 19, 161, 3.25),
+    ("Francisco Liriano", 16, 163, 3.02),
+    ("Chris Sale", 11, 226, 3.07),
+    ("Matt Harvey", 9, 191, 2.27),
+    ("Jose Fernandez", 12, 187, 2.19),
+    ("Zack Greinke", 15, 148, 2.63),
+    ("Hisashi Iwakuma", 14, 185, 2.66),
+    ("Madison Bumgarner", 13, 199, 2.77),
+    ("Cliff Lee", 14, 222, 2.87),
+    ("Felix Hernandez", 12, 216, 3.04),
+    ("Stephen Strasburg", 8, 191, 3.00),
+    ("Anibal Sanchez", 14, 202, 2.57),
+    ("John Lackey", 10, 161, 3.52),
+    ("David Price", 10, 151, 3.33),
+    ("Justin Verlander", 13, 217, 3.46),
+    ("James Shields", 13, 196, 3.15),
+    ("Hiroki Kuroda", 11, 150, 3.31),
+    ("Sonny Gray", 5, 67, 2.67),
+    ("Kris Medlen", 15, 157, 3.11),
+    ("Julio Teheran", 14, 170, 3.20),
+    ("Mike Minor", 13, 181, 3.21),
+    ("Scott Kazmir", 10, 162, 4.04),
+    ("Chris Tillman", 16, 179, 3.71),
+    ("Lance Lynn", 15, 198, 3.97),
+    ("Michael Wacha", 4, 65, 2.78),
+    ("Patrick Corbin", 14, 178, 3.41),
+    ("Hyun-Jin Ryu", 14, 154, 3.00),
+    ("Travis Wood", 9, 144, 3.11),
+    ("Shelby Miller", 15, 169, 3.06),
+    ("Ian Kennedy", 7, 163, 4.91),
+    ("Jeff Samardzija", 8, 214, 4.34),
+    ("R.A. Dickey", 14, 177, 4.21),
+    ("Gio Gonzalez", 11, 192, 3.36),
+    ("Homer Bailey", 11, 199, 3.49),
+    ("Mat Latos", 14, 187, 3.16),
+)
+
+#: The paper's reported crowdsourced skyline for Q3 (Cy Young candidates).
+PAPER_Q3_SKYLINE = frozenset(
+    {"Clayton Kershaw", "Bartolo Colon", "Yu Darvish", "Max Scherzer"}
+)
+
+
+def perceived_value(wins: int, strikeouts: int, era: float) -> float:
+    """WAR-style latent value, strictly monotone in each pitching stat."""
+    return 2.0 * wins + 0.05 * strikeouts + 15.0 * (5.0 - era)
+
+
+def mlb_dataset() -> Relation:
+    """Build the Q3 MLB pitchers relation (40 tuples)."""
+    schema = Schema(
+        [
+            Attribute("wins", AttributeKind.KNOWN, Direction.MAX),
+            Attribute("strike_outs", AttributeKind.KNOWN, Direction.MAX),
+            Attribute("era", AttributeKind.KNOWN, Direction.MIN),
+            Attribute("valuable", AttributeKind.CROWD, Direction.MAX),
+        ]
+    )
+    rows = [
+        Tuple(
+            known=(float(wins), float(so), era),
+            latent=(perceived_value(wins, so, era),),
+            label=name,
+        )
+        for name, wins, so, era in PITCHERS
+    ]
+    return Relation(schema, rows)

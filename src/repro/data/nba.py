@@ -1,0 +1,116 @@
+"""An NBA players dataset — a fourth domain corpus beyond the paper's Q1-Q3.
+
+Multi-criteria player comparison is the skyline literature's classic
+motivating example (Börzsönyi et al. open with it), and it slots directly
+into the crowd-enabled formulation: per-game statistics are machine-known
+while "overall impact" is a matter of crowd judgment.
+
+``AK = {points, rebounds, assists}`` (all MAX) over 50 players'
+2012-13-season per-game lines; the crowd attribute ``impact MAX`` uses a
+monotone composite of the stat line as its latent ground truth, so a
+player strictly beaten on every stat is also perceived as less impactful
+— the same modelling rule as the MLB dataset (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple as TupleT
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+
+#: (name, points, rebounds, assists) per game, 2012-13 season (approx.).
+PLAYERS: Sequence[TupleT[str, float, float, float]] = (
+    ("Carmelo Anthony", 28.7, 6.9, 2.6),
+    ("Kevin Durant", 28.1, 7.9, 4.6),
+    ("Kobe Bryant", 27.3, 5.6, 6.0),
+    ("LeBron James", 26.8, 8.0, 7.3),
+    ("James Harden", 25.9, 4.9, 5.8),
+    ("Russell Westbrook", 23.2, 5.2, 7.4),
+    ("Stephen Curry", 22.9, 4.0, 6.9),
+    ("Kyrie Irving", 22.5, 3.7, 5.9),
+    ("Dwyane Wade", 21.2, 5.0, 5.1),
+    ("LaMarcus Aldridge", 21.1, 9.1, 2.6),
+    ("Tony Parker", 20.3, 3.0, 7.6),
+    ("Blake Griffin", 18.0, 8.3, 3.7),
+    ("Dwight Howard", 17.1, 12.4, 1.4),
+    ("David Lee", 18.5, 11.2, 3.5),
+    ("Brook Lopez", 19.4, 6.9, 0.9),
+    ("Zach Randolph", 15.4, 11.2, 1.4),
+    ("Chris Paul", 16.9, 3.7, 9.7),
+    ("Deron Williams", 18.9, 3.0, 7.7),
+    ("Rajon Rondo", 13.7, 5.6, 11.1),
+    ("Tim Duncan", 17.8, 9.9, 2.7),
+    ("Marc Gasol", 14.1, 7.8, 4.0),
+    ("Joakim Noah", 11.9, 11.1, 4.0),
+    ("Al Horford", 17.4, 10.2, 3.2),
+    ("Paul George", 17.4, 7.6, 4.1),
+    ("Monta Ellis", 19.2, 3.9, 6.0),
+    ("Jrue Holiday", 17.7, 4.2, 8.0),
+    ("Damian Lillard", 19.0, 3.1, 6.5),
+    ("Al Jefferson", 17.8, 9.2, 2.1),
+    ("Josh Smith", 17.5, 8.4, 4.2),
+    ("Greg Monroe", 16.0, 9.6, 3.5),
+    ("DeMarcus Cousins", 17.1, 9.9, 2.7),
+    ("Paul Pierce", 18.6, 6.3, 4.8),
+    ("Ty Lawson", 16.7, 2.7, 6.9),
+    ("Mike Conley", 14.6, 2.8, 6.1),
+    ("John Wall", 18.5, 4.0, 7.6),
+    ("Nikola Vucevic", 13.1, 11.9, 1.9),
+    ("Serge Ibaka", 13.2, 7.7, 0.5),
+    ("Kenneth Faried", 11.5, 9.2, 1.0),
+    ("Anderson Varejao", 14.1, 14.4, 3.4),
+    ("Kevin Love", 18.3, 14.0, 2.3),
+    ("Pau Gasol", 13.7, 8.6, 4.1),
+    ("Chris Bosh", 16.6, 6.8, 1.7),
+    ("Luol Deng", 16.5, 6.3, 3.0),
+    ("Thaddeus Young", 14.8, 7.5, 1.6),
+    ("Jeff Green", 12.8, 3.9, 1.6),
+    ("Klay Thompson", 16.6, 3.7, 2.2),
+    ("George Hill", 14.2, 3.7, 4.7),
+    ("Goran Dragic", 14.7, 3.1, 7.4),
+    ("Nicolas Batum", 14.3, 5.6, 4.9),
+    ("Andre Iguodala", 13.0, 5.3, 5.4),
+)
+
+#: Latent "impact" weights: points carry most signal, playmaking and
+#: rebounding add to it. Strictly increasing in every stat.
+_POINT_WEIGHT = 1.0
+_REBOUND_WEIGHT = 1.2
+_ASSIST_WEIGHT = 1.5
+
+
+def perceived_impact(points: float, rebounds: float, assists: float) -> float:
+    """Monotone composite latent for the ``impact`` crowd attribute."""
+    return (
+        _POINT_WEIGHT * points
+        + _REBOUND_WEIGHT * rebounds
+        + _ASSIST_WEIGHT * assists
+    )
+
+
+def nba_dataset() -> Relation:
+    """Build the NBA players relation (50 tuples)."""
+    schema = Schema(
+        [
+            Attribute("points", AttributeKind.KNOWN, Direction.MAX),
+            Attribute("rebounds", AttributeKind.KNOWN, Direction.MAX),
+            Attribute("assists", AttributeKind.KNOWN, Direction.MAX),
+            Attribute("impact", AttributeKind.CROWD, Direction.MAX),
+        ]
+    )
+    rows = [
+        Tuple(
+            known=(points, rebounds, assists),
+            latent=(perceived_impact(points, rebounds, assists),),
+            label=name,
+        )
+        for name, points, rebounds, assists in PLAYERS
+    ]
+    return Relation(schema, rows)

@@ -1,0 +1,308 @@
+"""Relation model with known and crowd attributes (paper §2.2).
+
+The paper splits the attribute set ``A`` into *known* attributes ``AK``
+whose values live in the database and *crowd* attributes ``AC`` whose
+values are all missing (the "hand-off crowdsourcing" setting) and must be
+elicited from workers. This module provides:
+
+* :class:`Attribute` — name, kind (known/crowd) and preference direction,
+* :class:`Schema` — an ordered, validated attribute list,
+* :class:`Tuple` — one row: known values plus *latent* crowd values
+  (the hidden ground truth that only the simulated crowd may consult),
+* :class:`Relation` — a schema plus rows, with vectorized accessors.
+
+Preference canonicalization
+---------------------------
+The paper assumes "smaller values over AK are more preferred". User-facing
+schemas may declare ``MAX`` attributes (e.g. ``box_office MAX``); the
+relation canonicalizes every attribute to smaller-is-better internally via
+:meth:`Relation.known_matrix`, so all skyline code works in one convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple as TupleT
+
+import numpy as np
+
+from repro.exceptions import DataError, SchemaError, UnknownAttributeError
+
+
+class AttributeKind(enum.Enum):
+    """Whether an attribute's values are machine-known or crowd-assessed."""
+
+    KNOWN = "known"
+    CROWD = "crowd"
+
+
+class Direction(enum.Enum):
+    """Preference direction of an attribute.
+
+    ``MIN`` means smaller values are preferred (the paper's canonical
+    convention); ``MAX`` means larger values are preferred.
+    """
+
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute of the relation schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    kind:
+        :attr:`AttributeKind.KNOWN` for machine attributes in ``AK`` or
+        :attr:`AttributeKind.CROWD` for crowd attributes in ``AC``.
+    direction:
+        Preference direction. For crowd attributes the direction applies
+        to the *latent* ground-truth values consulted by simulated
+        workers.
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.KNOWN
+    direction: Direction = Direction.MIN
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    @property
+    def is_known(self) -> bool:
+        """True when the attribute belongs to ``AK``."""
+        return self.kind is AttributeKind.KNOWN
+
+    @property
+    def is_crowd(self) -> bool:
+        """True when the attribute belongs to ``AC``."""
+        return self.kind is AttributeKind.CROWD
+
+
+class Schema:
+    """An ordered collection of attributes defining ``A = AK ∪ AC``.
+
+    The two attribute subsets are disjoint by construction: each attribute
+    carries its own :class:`AttributeKind`.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: TupleT[Attribute, ...] = tuple(attributes)
+        if not self._attributes:
+            raise SchemaError("schema needs at least one attribute")
+        names = [attr.name for attr in self._attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._index = {attr.name: i for i, attr in enumerate(self._attributes)}
+        self._known = tuple(a for a in self._attributes if a.is_known)
+        self._crowd = tuple(a for a in self._attributes if a.is_crowd)
+
+    @classmethod
+    def simple(
+        cls,
+        num_known: int,
+        num_crowd: int,
+        direction: Direction = Direction.MIN,
+    ) -> "Schema":
+        """Build an anonymous schema ``A1..Ak`` known, ``C1..Cm`` crowd."""
+        if num_known < 0 or num_crowd < 0:
+            raise SchemaError("attribute counts must be non-negative")
+        attrs = [
+            Attribute(f"A{i + 1}", AttributeKind.KNOWN, direction)
+            for i in range(num_known)
+        ]
+        attrs += [
+            Attribute(f"C{j + 1}", AttributeKind.CROWD, direction)
+            for j in range(num_crowd)
+        ]
+        return cls(attrs)
+
+    @property
+    def attributes(self) -> TupleT[Attribute, ...]:
+        """All attributes in declaration order."""
+        return self._attributes
+
+    @property
+    def known_attributes(self) -> TupleT[Attribute, ...]:
+        """The attributes of ``AK`` in declaration order."""
+        return self._known
+
+    @property
+    def crowd_attributes(self) -> TupleT[Attribute, ...]:
+        """The attributes of ``AC`` in declaration order."""
+        return self._crowd
+
+    @property
+    def num_known(self) -> int:
+        """``|AK|``."""
+        return len(self._known)
+
+    @property
+    def num_crowd(self) -> int:
+        """``|AC|``."""
+        return len(self._crowd)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising on unknown names."""
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise UnknownAttributeError(
+                f"schema has no attribute named {name!r}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        known = ", ".join(a.name for a in self._known)
+        crowd = ", ".join(a.name for a in self._crowd)
+        return f"Schema(AK=[{known}], AC=[{crowd}])"
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """One row of a relation.
+
+    ``known`` holds the values over ``AK`` in schema order. ``latent``
+    holds the hidden ground-truth values over ``AC`` in schema order —
+    per the paper these are *never* visible to the algorithms; only the
+    crowd oracle (simulated workers) may consult them to answer
+    questions. ``label`` is an optional human-readable id used by the toy
+    datasets (``a`` .. ``l``) and the real-life datasets (movie titles).
+    """
+
+    known: TupleT[float, ...]
+    latent: TupleT[float, ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "known", tuple(float(v) for v in self.known))
+        object.__setattr__(self, "latent", tuple(float(v) for v in self.latent))
+
+    def __repr__(self) -> str:
+        name = self.label or "t"
+        ks = ", ".join(f"{v:g}" for v in self.known)
+        return f"{name}({ks})"
+
+
+class Relation:
+    """A dataset instance ``R`` over a :class:`Schema`.
+
+    Tuples are addressed by their integer index (stable for the lifetime
+    of the relation); labels are kept for presentation. The relation also
+    exposes canonicalized numpy matrices used by the vectorized skyline
+    substrate.
+    """
+
+    def __init__(self, schema: Schema, tuples: Iterable[Tuple]):
+        self._schema = schema
+        self._tuples: List[Tuple] = list(tuples)
+        for i, row in enumerate(self._tuples):
+            if len(row.known) != schema.num_known:
+                raise DataError(
+                    f"tuple {i} has {len(row.known)} known values, schema "
+                    f"expects {schema.num_known}"
+                )
+            if row.latent and len(row.latent) != schema.num_crowd:
+                raise DataError(
+                    f"tuple {i} has {len(row.latent)} latent values, schema "
+                    f"expects {schema.num_crowd}"
+                )
+        self._known_matrix: Optional[np.ndarray] = None
+        self._latent_matrix: Optional[np.ndarray] = None
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    @property
+    def tuples(self) -> Sequence[Tuple]:
+        """All tuples in index order (read-only view)."""
+        return tuple(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, index: int) -> Tuple:
+        return self._tuples[index]
+
+    def label(self, index: int) -> str:
+        """Human-readable label of a tuple (falls back to ``t<index>``)."""
+        row = self._tuples[index]
+        return row.label if row.label is not None else f"t{index}"
+
+    def index_of(self, label: str) -> int:
+        """Index of the tuple carrying ``label`` (first match)."""
+        for i, row in enumerate(self._tuples):
+            if row.label == label:
+                return i
+        raise DataError(f"no tuple labelled {label!r}")
+
+    def known_matrix(self) -> np.ndarray:
+        """Known values as an ``(n, |AK|)`` float array, smaller-is-better.
+
+        ``MAX`` attributes are negated so that all downstream dominance
+        code can assume the paper's canonical "smaller preferred"
+        convention.
+        """
+        if self._known_matrix is None:
+            data = np.asarray([row.known for row in self._tuples], dtype=float)
+            if data.size == 0:
+                data = data.reshape(len(self._tuples), self._schema.num_known)
+            for j, attr in enumerate(self._schema.known_attributes):
+                if attr.direction is Direction.MAX:
+                    data[:, j] = -data[:, j]
+            self._known_matrix = data
+        return self._known_matrix
+
+    def latent_matrix(self) -> np.ndarray:
+        """Latent crowd values as ``(n, |AC|)``, smaller-is-better.
+
+        Only the simulated crowd (oracle/workers) and accuracy metrics may
+        consult this; algorithms must not.
+        """
+        if self._latent_matrix is None:
+            if any(not row.latent for row in self._tuples) and self._schema.num_crowd:
+                raise DataError(
+                    "relation has crowd attributes but some tuples lack "
+                    "latent values"
+                )
+            data = np.asarray(
+                [row.latent for row in self._tuples], dtype=float
+            ).reshape(len(self._tuples), self._schema.num_crowd)
+            for j, attr in enumerate(self._schema.crowd_attributes):
+                if attr.direction is Direction.MAX:
+                    data[:, j] = -data[:, j]
+            self._latent_matrix = data
+        return self._latent_matrix
+
+    def subset(self, indices: Sequence[int]) -> "Relation":
+        """A new relation holding the given tuples (re-indexed)."""
+        return Relation(self._schema, [self._tuples[i] for i in indices])
+
+    def __repr__(self) -> str:
+        return f"Relation(n={len(self)}, schema={self._schema!r})"

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the CrowdSky reproduction.
+
+All library-raised exceptions derive from :class:`CrowdSkyError` so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class CrowdSkyError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(CrowdSkyError):
+    """A relation schema is malformed or inconsistent with its rows."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that the schema does not define."""
+
+
+class DataError(CrowdSkyError):
+    """Tuple data violates a structural requirement (arity, domain, ...)."""
+
+
+class CrowdPlatformError(CrowdSkyError):
+    """The simulated crowdsourcing platform was used incorrectly."""
+
+
+class BudgetExhaustedError(CrowdPlatformError):
+    """A question was issued after the configured budget ran out."""
+
+
+class PreferenceConflictError(CrowdSkyError):
+    """An answer would make the preference graph inconsistent (cycle)."""
+
+
+class QueryError(CrowdSkyError):
+    """Base class for errors in the SKYLINE OF query language."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenized or parsed."""
+
+
+class QuerySemanticError(QueryError):
+    """The query parsed but references unknown attributes or options."""
+
+
+class ExperimentError(CrowdSkyError):
+    """An experiment id or configuration is invalid."""

@@ -1,0 +1,27 @@
+"""Experiment harness reproducing every table and figure of §6.
+
+Experiments are registered by id (``table1`` .. ``table3``, ``fig6a`` ..
+``fig12b``, ``q_accuracy``) in :mod:`repro.experiments.registry`; run them
+programmatically via :func:`run_experiment` or from the shell::
+
+    python -m repro.experiments run fig8 --scale ci
+    python -m repro.experiments list
+
+Each experiment returns an :class:`ExperimentResult` whose rows mirror the
+series of the paper's plot/table, so the output can be compared 1:1 with
+the published artwork (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "format_table",
+    "run_experiment",
+]

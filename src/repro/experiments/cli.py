@@ -1,0 +1,180 @@
+"""Command-line entry point: ``crowdsky`` / ``python -m repro.experiments``.
+
+Subcommands::
+
+    crowdsky list                     # show all experiment ids
+    crowdsky run fig8 --scale ci      # reproduce a figure/table
+    crowdsky run all --scale smoke    # run everything (e.g. sanity sweep)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.report import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crowdsky",
+        description=(
+            "Reproduce the tables and figures of 'CrowdSky: Skyline "
+            "Computation with Crowdsourcing' (EDBT 2016)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run = subparsers.add_parser("run", help="run an experiment")
+    run.add_argument(
+        "experiment",
+        help="experiment id (see 'crowdsky list'), or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "ci", "paper"),
+        default="ci",
+        help="parameter grid size (default: ci)",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="additionally write results as JSON to PATH ('-' for stdout)",
+    )
+
+    subparsers.add_parser(
+        "demo",
+        help="walk through the paper's toy example end to end",
+    )
+
+    plot = subparsers.add_parser(
+        "plot", help="render an experiment as an ASCII chart"
+    )
+    plot.add_argument("experiment", help="experiment id")
+    plot.add_argument(
+        "--scale",
+        choices=("smoke", "ci", "paper"),
+        default="ci",
+        help="parameter grid size (default: ci)",
+    )
+    return parser
+
+
+def _run_demo() -> None:
+    """Narrated run of the paper's Figure 1 toy example."""
+    from repro.core.crowdsky import crowdsky
+    from repro.core.parallel import parallel_dset, parallel_sl
+    from repro.data.toy import figure1_dataset
+
+    toy = figure1_dataset()
+    print("The paper's toy dataset (Figure 1): 12 tuples a..l with two")
+    print("known attributes; the third attribute lives only in crowd")
+    print("judgment. SKY_AK = {b, e, i, l} is complete from the start.\n")
+
+    serial = crowdsky(figure1_dataset())
+    print(f"Serial CrowdSky asks {serial.stats.questions} questions")
+    print("(Example 6 / Figure 4(a) of the paper), one per round:")
+    pairs = ", ".join(
+        f"({toy.label(a)},{toy.label(b)})" for a, b in serial.asked_pairs()
+    )
+    print(f"  {pairs}\n")
+
+    dset = parallel_dset(figure1_dataset())
+    print(
+        f"ParallelDSet groups tuples by |DS(t)|: same "
+        f"{dset.stats.questions} questions in {dset.stats.rounds} rounds "
+        f"(Example 7)."
+    )
+
+    layered = parallel_sl(figure1_dataset())
+    print(
+        f"ParallelSL activates on the covering graph: "
+        f"{layered.stats.rounds} rounds (Table 3):"
+    )
+    for row in layered.round_table(toy):
+        print(f"  round {row['round']}: {row['questions']}")
+
+    labels = ", ".join(sorted(serial.skyline_labels(toy)))
+    print(f"\nFinal crowdsourced skyline: {{{labels}}} — Example 2.")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `crowdsky list | head`).
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
+    """Execute one parsed CLI invocation."""
+
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "demo":
+        _run_demo()
+        return 0
+
+    ids = (
+        available_experiments()
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    results = []
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, scale=args.scale)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        results.append(result)
+        if args.command == "plot":
+            from repro.experiments.plots import chart_for_experiment
+
+            print(chart_for_experiment(result))
+        else:
+            print(format_table(result))
+        print()
+
+    if args.command == "run" and args.json is not None:
+        payload = json.dumps(
+            [
+                {
+                    "id": result.id,
+                    "title": result.title,
+                    "columns": list(result.columns),
+                    "rows": result.rows,
+                    "scale": args.scale,
+                }
+                for result in results
+            ],
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Extension experiment: budget-vs-accuracy for the [12] subsystem.
+
+Not a paper artifact — CrowdSky's §6 only simulates [12]'s unary
+*format* — but having the full comparator system in the repository
+invites the obvious study: how does the probabilistic skyline's quality
+grow with the question budget, and how much does smart question
+selection buy over random?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.incomplete import (
+    IncompleteRelation,
+    SelectionPolicy,
+    lofi_skyline,
+)
+from repro.skyline.dominance import skyline_mask
+
+
+def _jaccard(predicted: set, expected: set) -> float:
+    union = predicted | expected
+    if not union:
+        return 1.0
+    return len(predicted & expected) / len(union)
+
+
+def budget_accuracy_rows(
+    n: int = 60,
+    d: int = 3,
+    missing_rate: float = 0.3,
+    budgets: Sequence[int] = (0, 10, 20, 40, 80),
+    num_seeds: int = 3,
+    worker_sigma: float = 0.05,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Jaccard similarity to the true skyline per budget and policy."""
+    rows: List[Dict[str, object]] = []
+    for budget in budgets:
+        row: Dict[str, object] = {"budget": budget}
+        for policy in SelectionPolicy:
+            scores = []
+            for seed in range(base_seed, base_seed + num_seeds):
+                truth = generate_synthetic(
+                    n, d, 0, Distribution.INDEPENDENT, seed=seed
+                ).known_matrix()
+                expected = set(
+                    np.nonzero(skyline_mask(truth))[0].astype(int)
+                )
+                relation = IncompleteRelation.mask_random_cells(
+                    truth, missing_rate, seed=seed
+                )
+                result = lofi_skyline(
+                    relation,
+                    budget=budget,
+                    policy=policy,
+                    worker_sigma=worker_sigma,
+                    seed=seed,
+                )
+                scores.append(_jaccard(result.skyline, expected))
+            row[policy.value] = float(np.mean(scores))
+        rows.append(row)
+    return rows

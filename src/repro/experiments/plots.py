@@ -1,0 +1,150 @@
+"""ASCII renderings of the paper's figures (offline, no plotting deps).
+
+Turns experiment rows into terminal line charts so the shapes of
+Figures 6-12 can be inspected directly from a shell session::
+
+    crowdsky plot fig8
+
+Log-scaled y axes mirror the paper's round plots; linear scaling is used
+for accuracy figures (values in [0, 1]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+_MARKERS = "ox*+#%@&"
+
+
+def _column_is_numeric(rows: List[Dict[str, Any]], column: str) -> bool:
+    return all(
+        isinstance(row.get(column), (int, float)) for row in rows
+    )
+
+
+def ascii_chart(
+    rows: List[Dict[str, Any]],
+    x: str,
+    series: Sequence[str],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render series of ``rows`` as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    rows:
+        Experiment rows (dicts).
+    x:
+        Column giving the x position (numeric or ordinal).
+    series:
+        Column names to plot; each gets its own marker.
+    width, height:
+        Canvas size in characters.
+    log_y:
+        Use a log10 y-axis (the paper's Figures 8-9 style).
+    title:
+        Optional chart heading.
+    """
+    points: List[tuple] = []
+    x_values: List[float] = []
+    for index, row in enumerate(rows):
+        raw = row.get(x)
+        x_value = float(raw) if isinstance(raw, (int, float)) else float(index)
+        x_values.append(x_value)
+        for s_index, name in enumerate(series):
+            value = row.get(name)
+            if isinstance(value, (int, float)):
+                points.append((x_value, float(value), s_index))
+    if not points:
+        return "(no numeric data)"
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, 1e-9))
+        return value
+
+    ys = [transform(p[1]) for p in points]
+    y_low, y_high = min(ys), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x_value, y_value, s_index in points:
+        col = int((x_value - x_low) / (x_high - x_low) * (width - 1))
+        row_pos = int(
+            (transform(y_value) - y_low) / (y_high - y_low) * (height - 1)
+        )
+        canvas[height - 1 - row_pos][col] = _MARKERS[s_index % len(_MARKERS)]
+
+    def y_label(fraction: float) -> str:
+        value = y_low + fraction * (y_high - y_low)
+        if log_y:
+            value = 10 ** value
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_label(1.0)
+    bottom_label = y_label(0.0)
+    label_width = max(len(top_label), len(bottom_label))
+    for i, canvas_row in enumerate(canvas):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(canvas_row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x}: {x_low:g} .. {x_high:g}"
+        + ("   [log y]" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def chart_for_experiment(result, log_y: Optional[bool] = None) -> str:
+    """Best-effort chart for an :class:`ExperimentResult`.
+
+    The first column is the x axis; remaining numeric columns are the
+    series. Round/question figures default to a log y axis.
+    """
+    if not result.rows:
+        return "(empty experiment)"
+    columns = list(result.columns)
+    x = columns[0]
+    # Grouped sweeps (fig8/fig9) carry a leading 'distribution' column.
+    if x == "distribution" and len(columns) > 1:
+        x = columns[1]
+        series = [c for c in columns[2:]
+                  if _column_is_numeric(result.rows, c)]
+    else:
+        series = [c for c in columns[1:]
+                  if _column_is_numeric(result.rows, c)]
+    if log_y is None:
+        log_y = any(
+            keyword in result.title.lower()
+            for keyword in ("rounds", "questions")
+        )
+    return ascii_chart(
+        result.rows, x, series, log_y=log_y,
+        title=f"{result.id}: {result.title}",
+    )

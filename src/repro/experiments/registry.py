@@ -1,0 +1,283 @@
+"""Registry mapping experiment ids to runnable reproductions.
+
+Every table and figure of the paper's evaluation section has an id here
+(see DESIGN.md's per-experiment index). Experiments accept a ``scale``:
+
+* ``smoke`` — minimal sizes for unit tests,
+* ``ci`` — laptop-sized grid with the same shape as the paper (default),
+* ``paper`` — the paper's full parameter grid (Table 4; slow in Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.data.synthetic import Distribution
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    accuracy_runs,
+    lofi_runs,
+    reallife_runs,
+    synthetic_runs,
+    tables,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one of the paper's tables or figures."""
+
+    id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]]
+    notes: str = ""
+
+
+_SCALES = ("smoke", "ci", "paper")
+
+
+def _grid(scale: str) -> Dict[str, Any]:
+    if scale == "paper":
+        return {
+            "cardinalities": synthetic_runs.PAPER_CARDINALITIES,
+            "default_n": synthetic_runs.PAPER_DEFAULT_N,
+            "accuracy_cardinalities":
+                accuracy_runs.PAPER_ACCURACY_CARDINALITIES,
+            "num_seeds": 10,
+        }
+    if scale == "ci":
+        return {
+            "cardinalities": synthetic_runs.CI_CARDINALITIES,
+            "default_n": synthetic_runs.CI_DEFAULT_N,
+            "accuracy_cardinalities": accuracy_runs.CI_ACCURACY_CARDINALITIES,
+            "num_seeds": 3,
+        }
+    return {
+        "cardinalities": synthetic_runs.SMOKE_CARDINALITIES,
+        "default_n": synthetic_runs.SMOKE_DEFAULT_N,
+        "accuracy_cardinalities": accuracy_runs.SMOKE_ACCURACY_CARDINALITIES,
+        "num_seeds": 2,
+    }
+
+
+def _columns(rows: List[Dict[str, Any]]) -> List[str]:
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _table_experiment(id_: str, title: str, rows_fn) -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        rows = rows_fn()
+        return ExperimentResult(id_, title, _columns(rows), rows)
+
+    return run
+
+
+def _questions_experiment(id_: str, title: str, distribution: Distribution,
+                          axis: str) -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        grid = _grid(scale)
+        if axis == "n":
+            rows = synthetic_runs.questions_vs_cardinality(
+                distribution,
+                cardinalities=grid["cardinalities"],
+                num_seeds=grid["num_seeds"],
+            )
+        elif axis == "num_known":
+            rows = synthetic_runs.questions_vs_known(
+                distribution,
+                n=grid["default_n"],
+                num_seeds=grid["num_seeds"],
+            )
+        else:
+            rows = synthetic_runs.questions_vs_crowd(
+                distribution,
+                n=grid["default_n"],
+                num_seeds=grid["num_seeds"],
+            )
+        return ExperimentResult(id_, title, _columns(rows), rows)
+
+    return run
+
+
+def _rounds_experiment(id_: str, title: str, axis: str) -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        grid = _grid(scale)
+        rows = []
+        for distribution in (
+            Distribution.INDEPENDENT,
+            Distribution.ANTI_CORRELATED,
+        ):
+            if axis == "n":
+                sub = synthetic_runs.rounds_vs_cardinality(
+                    distribution,
+                    cardinalities=grid["cardinalities"],
+                    num_seeds=grid["num_seeds"],
+                )
+            else:
+                sub = synthetic_runs.rounds_vs_known(
+                    distribution,
+                    n=grid["default_n"],
+                    num_seeds=grid["num_seeds"],
+                )
+            for row in sub:
+                row = {"distribution": distribution.value, **row}
+                rows.append(row)
+        return ExperimentResult(id_, title, _columns(rows), rows)
+
+    return run
+
+
+def _accuracy_experiment(id_: str, title: str, which: str) -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        grid = _grid(scale)
+        fn = (
+            accuracy_runs.voting_accuracy
+            if which == "voting"
+            else accuracy_runs.method_accuracy
+        )
+        rows = fn(
+            cardinalities=grid["accuracy_cardinalities"],
+            num_seeds=grid["num_seeds"],
+        )
+        return ExperimentResult(id_, title, _columns(rows), rows)
+
+    return run
+
+
+def _reallife_experiment(id_: str, title: str, which: str) -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        grid = _grid(scale)
+        fn = {
+            "cost": reallife_runs.monetary_cost_rows,
+            "rounds": reallife_runs.rounds_rows,
+            "accuracy": reallife_runs.accuracy_rows,
+            "latency": reallife_runs.latency_rows,
+        }[which]
+        rows = fn(num_seeds=grid["num_seeds"])
+        return ExperimentResult(id_, title, _columns(rows), rows)
+
+    return run
+
+
+def _lofi_experiment() -> Callable[[str], ExperimentResult]:
+    def run(scale: str) -> ExperimentResult:
+        grid = _grid(scale)
+        if scale == "paper":
+            budgets, n = (0, 20, 40, 80, 160), 120
+        elif scale == "ci":
+            budgets, n = (0, 10, 20, 40, 80), 60
+        else:
+            budgets, n = (0, 10, 25), 30
+        rows = lofi_runs.budget_accuracy_rows(
+            n=n, budgets=budgets, num_seeds=grid["num_seeds"],
+        )
+        return ExperimentResult(
+            "extra_lofi",
+            "Budget vs accuracy for the [12] probabilistic skyline "
+            "(extension, not a paper artifact)",
+            _columns(rows),
+            rows,
+        )
+
+    return run
+
+
+_REGISTRY: Dict[str, Callable[[str], ExperimentResult]] = {
+    "table1": _table_experiment(
+        "table1", "Dominating sets and question sets (toy data)",
+        tables.table1_rows,
+    ),
+    "table2": _table_experiment(
+        "table2", "Sorted dominating sets after P1 prunings (toy data)",
+        tables.table2_rows,
+    ),
+    "table3": _table_experiment(
+        "table3", "ParallelSL round schedule (toy data)", tables.table3_rows,
+    ),
+    "fig6a": _questions_experiment(
+        "fig6a", "Questions vs cardinality (IND)",
+        Distribution.INDEPENDENT, "n",
+    ),
+    "fig6b": _questions_experiment(
+        "fig6b", "Questions vs |AK| (IND)",
+        Distribution.INDEPENDENT, "num_known",
+    ),
+    "fig6c": _questions_experiment(
+        "fig6c", "Questions vs |AC| (IND)",
+        Distribution.INDEPENDENT, "num_crowd",
+    ),
+    "fig7a": _questions_experiment(
+        "fig7a", "Questions vs cardinality (ANT)",
+        Distribution.ANTI_CORRELATED, "n",
+    ),
+    "fig7b": _questions_experiment(
+        "fig7b", "Questions vs |AK| (ANT)",
+        Distribution.ANTI_CORRELATED, "num_known",
+    ),
+    "fig7c": _questions_experiment(
+        "fig7c", "Questions vs |AC| (ANT)",
+        Distribution.ANTI_CORRELATED, "num_crowd",
+    ),
+    "fig8": _rounds_experiment(
+        "fig8", "Rounds vs cardinality (IND and ANT)", "n",
+    ),
+    "fig9": _rounds_experiment(
+        "fig9", "Rounds vs |AK| (IND and ANT)", "num_known",
+    ),
+    "fig10": _accuracy_experiment(
+        "fig10", "Static vs Dynamic voting accuracy (IND)", "voting",
+    ),
+    "fig11": _accuracy_experiment(
+        "fig11", "Baseline vs Unary vs CrowdSky accuracy (IND)", "methods",
+    ),
+    "fig12a": _reallife_experiment(
+        "fig12a", "Monetary cost over real-life queries", "cost",
+    ),
+    "fig12b": _reallife_experiment(
+        "fig12b", "Rounds over real-life queries", "rounds",
+    ),
+    "q_accuracy": _reallife_experiment(
+        "q_accuracy", "Accuracy over real-life queries (§6.2)", "accuracy",
+    ),
+    "extra_lofi": _lofi_experiment(),
+    "extra_latency": _reallife_experiment(
+        "extra_latency",
+        "Estimated wall-clock over real-life queries "
+        "(extension: HIT-sampled latency)",
+        "latency",
+    ),
+}
+
+
+def available_experiments() -> List[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str, scale: str = "ci") -> ExperimentResult:
+    """Run one experiment at the given scale.
+
+    Raises
+    ------
+    ExperimentError
+        On unknown ids or scales.
+    """
+    if scale not in _SCALES:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; choose from {_SCALES}"
+        )
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(available_experiments())}"
+        ) from None
+    return runner(scale)

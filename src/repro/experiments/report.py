@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_rows(columns: Sequence[str], rows: List[Dict[str, Any]]) -> str:
+    """Render rows as an aligned text table."""
+    table = [[_format_value(row.get(col, "")) for col in columns]
+             for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        if table
+        else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def format_table(result) -> str:
+    """Render a full :class:`ExperimentResult` with title and notes."""
+    parts = [f"== {result.id}: {result.title} =="]
+    parts.append(format_rows(result.columns, result.rows))
+    if result.notes:
+        parts.append("")
+        parts.append(result.notes)
+    return "\n".join(parts)

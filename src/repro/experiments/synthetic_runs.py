@@ -1,0 +1,221 @@
+"""Synthetic-data sweeps for Figures 6-9 (paper §6.1).
+
+Each sweep runs the relevant algorithms on freshly generated datasets
+(perfect crowd — the §3/§4 setting of these figures) and averages over
+several seeds, reporting the same series the paper plots:
+
+* Figures 6-7 — number of questions for Baseline / DSet / P1 / P1+P2 /
+  P1+P2+P3 over varying cardinality, ``|AK|`` and ``|AC|``, for IND and
+  ANT distributions.
+* Figures 8-9 — number of rounds for Baseline / Serial / ParallelDSet /
+  ParallelSL over varying cardinality and ``|AK|``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.baseline import baseline_skyline
+from repro.core.crowdsky import CrowdSkyConfig, PruningLevel, crowdsky
+from repro.core.parallel import parallel_dset, parallel_sl
+from repro.data.synthetic import Distribution, generate_synthetic
+
+#: The paper's default grid (Table 4).
+PAPER_CARDINALITIES = (2000, 4000, 6000, 8000, 10000)
+PAPER_KNOWN_DIMS = (2, 3, 4, 5)
+PAPER_CROWD_DIMS = (1, 2, 3)
+PAPER_DEFAULT_N = 4000
+PAPER_DEFAULT_KNOWN = 4
+PAPER_DEFAULT_CROWD = 1
+
+#: CI-friendly scaled-down grid (same shape, laptop-sized).
+CI_CARDINALITIES = (200, 400, 600, 800, 1000)
+CI_DEFAULT_N = 400
+
+#: Minimal grid for unit tests.
+SMOKE_CARDINALITIES = (60, 120)
+SMOKE_DEFAULT_N = 80
+
+_PRUNING_SERIES = (
+    ("DSet", PruningLevel.DSET),
+    ("P1", PruningLevel.P1),
+    ("P1+P2", PruningLevel.P1_P2),
+    ("P1+P2+P3", PruningLevel.P1_P2_P3),
+)
+
+
+def _seeds(count: int, base: int) -> List[int]:
+    return [base + i for i in range(count)]
+
+
+def _average(values: Iterable[float]) -> float:
+    values = list(values)
+    return float(np.mean(values)) if values else float("nan")
+
+
+def question_counts(
+    n: int,
+    num_known: int,
+    num_crowd: int,
+    distribution: Distribution,
+    seed: int,
+) -> Dict[str, int]:
+    """Question counts of all Figure 6/7 series on one dataset."""
+    counts: Dict[str, int] = {}
+    relation = generate_synthetic(n, num_known, num_crowd, distribution,
+                                  seed=seed)
+    counts["Baseline"] = baseline_skyline(relation).stats.questions
+    for name, level in _PRUNING_SERIES:
+        relation = generate_synthetic(n, num_known, num_crowd, distribution,
+                                      seed=seed)
+        result = crowdsky(relation, config=CrowdSkyConfig(pruning=level))
+        counts[name] = result.stats.questions
+    return counts
+
+
+def round_counts(
+    n: int,
+    num_known: int,
+    num_crowd: int,
+    distribution: Distribution,
+    seed: int,
+) -> Dict[str, int]:
+    """Round counts of all Figure 8/9 series on one dataset."""
+    algorithms: Sequence = (
+        ("Baseline", baseline_skyline),
+        ("Serial", crowdsky),
+        ("ParallelDSet", parallel_dset),
+        ("ParallelSL", parallel_sl),
+    )
+    counts: Dict[str, int] = {}
+    for name, algorithm in algorithms:
+        relation = generate_synthetic(n, num_known, num_crowd, distribution,
+                                      seed=seed)
+        counts[name] = algorithm(relation).stats.rounds
+    return counts
+
+
+def _sweep(
+    metric: Callable[..., Dict[str, int]],
+    x_name: str,
+    x_values: Sequence[int],
+    fixed: Dict[str, int],
+    distribution: Distribution,
+    seeds: Sequence[int],
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for x in x_values:
+        params = dict(fixed)
+        params[x_name] = x
+        samples = [
+            metric(
+                n=params["n"],
+                num_known=params["num_known"],
+                num_crowd=params["num_crowd"],
+                distribution=distribution,
+                seed=seed,
+            )
+            for seed in seeds
+        ]
+        row: Dict[str, object] = {x_name: x}
+        for series in samples[0]:
+            row[series] = _average(sample[series] for sample in samples)
+        rows.append(row)
+    return rows
+
+
+def questions_vs_cardinality(
+    distribution: Distribution,
+    cardinalities: Sequence[int] = CI_CARDINALITIES,
+    num_known: int = PAPER_DEFAULT_KNOWN,
+    num_crowd: int = PAPER_DEFAULT_CROWD,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Figure 6(a) / 7(a): questions vs cardinality."""
+    return _sweep(
+        question_counts,
+        "n",
+        list(cardinalities),
+        {"num_known": num_known, "num_crowd": num_crowd, "n": 0},
+        distribution,
+        _seeds(num_seeds, base_seed),
+    )
+
+
+def questions_vs_known(
+    distribution: Distribution,
+    known_dims: Sequence[int] = PAPER_KNOWN_DIMS,
+    n: int = CI_DEFAULT_N,
+    num_crowd: int = PAPER_DEFAULT_CROWD,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Figure 6(b) / 7(b): questions vs ``|AK|``."""
+    return _sweep(
+        question_counts,
+        "num_known",
+        list(known_dims),
+        {"n": n, "num_crowd": num_crowd, "num_known": 0},
+        distribution,
+        _seeds(num_seeds, base_seed),
+    )
+
+
+def questions_vs_crowd(
+    distribution: Distribution,
+    crowd_dims: Sequence[int] = PAPER_CROWD_DIMS,
+    n: int = CI_DEFAULT_N,
+    num_known: int = PAPER_DEFAULT_KNOWN,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Figure 6(c) / 7(c): questions vs ``|AC|``."""
+    return _sweep(
+        question_counts,
+        "num_crowd",
+        list(crowd_dims),
+        {"n": n, "num_known": num_known, "num_crowd": 0},
+        distribution,
+        _seeds(num_seeds, base_seed),
+    )
+
+
+def rounds_vs_cardinality(
+    distribution: Distribution,
+    cardinalities: Sequence[int] = CI_CARDINALITIES,
+    num_known: int = PAPER_DEFAULT_KNOWN,
+    num_crowd: int = PAPER_DEFAULT_CROWD,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Figure 8: rounds vs cardinality."""
+    return _sweep(
+        round_counts,
+        "n",
+        list(cardinalities),
+        {"num_known": num_known, "num_crowd": num_crowd, "n": 0},
+        distribution,
+        _seeds(num_seeds, base_seed),
+    )
+
+
+def rounds_vs_known(
+    distribution: Distribution,
+    known_dims: Sequence[int] = PAPER_KNOWN_DIMS,
+    n: int = CI_DEFAULT_N,
+    num_crowd: int = PAPER_DEFAULT_CROWD,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Figure 9: rounds vs ``|AK|``."""
+    return _sweep(
+        round_counts,
+        "num_known",
+        list(known_dims),
+        {"n": n, "num_crowd": num_crowd, "num_known": 0},
+        distribution,
+        _seeds(num_seeds, base_seed),
+    )

@@ -1,0 +1,39 @@
+"""The comparator system: crowd-enabled probabilistic skylines ([12]).
+
+The paper's prior work — Lofi, El Maarry & Balke, *Skyline Queries in
+Crowd-Enabled Databases* (EDBT 2013), cited as [12] — solves a different
+formulation that CrowdSky §7 contrasts itself against:
+
+* data is *partially* incomplete (individual cells missing, not whole
+  columns),
+* missing values are treated as random variables, giving each tuple a
+  *probability* of skyline membership,
+* a fixed crowdsourcing budget buys **unary** questions that materialize
+  the most valuable missing cells, maximizing the confidence of the
+  result rather than completing it.
+
+This subpackage implements that system end to end so the two
+formulations can be compared within one codebase:
+
+* :mod:`repro.incomplete.relation` — relations with missing cells and
+  hidden ground truth,
+* :mod:`repro.incomplete.probability` — Monte-Carlo skyline-membership
+  probabilities,
+* :mod:`repro.incomplete.selection` — question-selection policies
+  (random / uncertainty / influence),
+* :mod:`repro.incomplete.lofi` — the budgeted crowd-enabled
+  probabilistic skyline loop.
+"""
+
+from repro.incomplete.lofi import LofiResult, lofi_skyline
+from repro.incomplete.probability import skyline_probabilities
+from repro.incomplete.relation import IncompleteRelation
+from repro.incomplete.selection import SelectionPolicy
+
+__all__ = [
+    "IncompleteRelation",
+    "LofiResult",
+    "SelectionPolicy",
+    "lofi_skyline",
+    "skyline_probabilities",
+]

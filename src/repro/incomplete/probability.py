@@ -1,0 +1,82 @@
+"""Monte-Carlo skyline-membership probabilities over incomplete data.
+
+[12] treats each missing value as a random variable and reports, per
+tuple, the probability of belonging to the skyline. We estimate those
+probabilities by sampling completions: every missing cell is drawn
+uniformly from its attribute's observed range, the machine skyline of
+each completion is computed with the vectorized mask kernel, and
+membership frequencies are averaged.
+
+Vectorization note: all ``samples`` completions are materialized as one
+``(samples, n, d)`` tensor and each completion's skyline mask is
+computed with numpy broadcasting — ~1000 samples × n=200 runs in well
+under a second, which the budget loop in :mod:`repro.incomplete.lofi`
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.incomplete.relation import IncompleteRelation
+from repro.skyline.dominance import skyline_mask
+
+#: Default Monte-Carlo sample count.
+DEFAULT_SAMPLES = 200
+
+
+def sample_completions(
+    relation: IncompleteRelation,
+    samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``samples`` complete matrices consistent with the data.
+
+    Missing cells are independent uniforms over the attribute's observed
+    range (the [12] default prior).
+    """
+    observed = relation.observed
+    low, high = relation.attribute_bounds()
+    n, d = observed.shape
+    completions = np.broadcast_to(observed, (samples, n, d)).copy()
+    missing = np.isnan(observed)
+    for j in range(d):
+        rows = np.nonzero(missing[:, j])[0]
+        if rows.size:
+            completions[:, rows, j] = rng.uniform(
+                low[j], high[j], size=(samples, rows.size)
+            )
+    return completions
+
+
+def skyline_probabilities(
+    relation: IncompleteRelation,
+    samples: int = DEFAULT_SAMPLES,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Per-tuple probability of skyline membership.
+
+    Tuples with no missing values still carry uncertainty through the
+    *other* tuples' completions, so all probabilities come from the same
+    sampled ensemble.
+    """
+    if samples < 1:
+        raise DataError("need at least one Monte-Carlo sample")
+    if rng is not None and seed is not None:
+        raise DataError("pass either seed or rng, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    if relation.num_missing == 0:
+        mask = skyline_mask(relation.observed)
+        return mask.astype(float)
+
+    completions = sample_completions(relation, samples, rng)
+    counts = np.zeros(relation.n, dtype=float)
+    for k in range(samples):
+        counts += skyline_mask(completions[k])
+    return counts / samples

@@ -1,0 +1,124 @@
+"""Relations with per-cell missing values (the [12] data model).
+
+Unlike CrowdSky's hand-off setting (whole crowd *columns* missing), the
+probabilistic formulation lets any individual cell be missing. The
+observable matrix holds NaN for missing cells; the hidden truth matrix
+feeds the simulated crowd's unary answers and the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple as TupleT
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+class IncompleteRelation:
+    """An ``(n, d)`` dataset where some cells are unknown.
+
+    Parameters
+    ----------
+    observed:
+        Float matrix with ``NaN`` marking missing cells (smaller
+        preferred on every attribute — canonicalize before building).
+    truth:
+        Complete ground-truth matrix; must agree with ``observed`` on
+        every known cell. Only the crowd simulation and metrics may read
+        it.
+    """
+
+    def __init__(self, observed: np.ndarray, truth: np.ndarray):
+        observed = np.asarray(observed, dtype=float)
+        truth = np.asarray(truth, dtype=float)
+        if observed.shape != truth.shape:
+            raise DataError("observed and truth shapes differ")
+        if observed.ndim != 2 or observed.shape[0] == 0:
+            raise DataError("need a non-empty (n, d) matrix")
+        if np.isnan(truth).any():
+            raise DataError("ground truth must be complete")
+        known = ~np.isnan(observed)
+        if not np.allclose(observed[known], truth[known]):
+            raise DataError("observed values disagree with ground truth")
+        self._observed = observed.copy()
+        self._truth = truth
+
+    @classmethod
+    def mask_random_cells(
+        cls,
+        truth: np.ndarray,
+        missing_rate: float,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> "IncompleteRelation":
+        """Hide a random fraction of cells of a complete matrix."""
+        if not 0.0 <= missing_rate <= 1.0:
+            raise DataError("missing_rate must be within [0, 1]")
+        if rng is not None and seed is not None:
+            raise DataError("pass either seed or rng, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        truth = np.asarray(truth, dtype=float)
+        observed = truth.copy()
+        mask = rng.random(truth.shape) < missing_rate
+        observed[mask] = np.nan
+        return cls(observed, truth)
+
+    @property
+    def n(self) -> int:
+        """Number of tuples."""
+        return self._observed.shape[0]
+
+    @property
+    def d(self) -> int:
+        """Number of attributes."""
+        return self._observed.shape[1]
+
+    @property
+    def observed(self) -> np.ndarray:
+        """The visible matrix (copy); NaN marks missing cells."""
+        return self._observed.copy()
+
+    def truth_matrix(self) -> np.ndarray:
+        """The hidden complete matrix (crowd/metrics side only)."""
+        return self._truth.copy()
+
+    def missing_cells(self) -> list:
+        """All ``(row, column)`` positions still missing."""
+        rows, cols = np.nonzero(np.isnan(self._observed))
+        return [(int(r), int(c)) for r, c in zip(rows, cols)]
+
+    @property
+    def num_missing(self) -> int:
+        """Count of missing cells."""
+        return int(np.isnan(self._observed).sum())
+
+    def truth_value(self, row: int, column: int) -> float:
+        """Ground truth of one cell (crowd side only)."""
+        return float(self._truth[row, column])
+
+    def fill(self, row: int, column: int, value: float) -> None:
+        """Materialize a missing cell with a crowdsourced estimate."""
+        if not np.isnan(self._observed[row, column]):
+            raise DataError(f"cell ({row}, {column}) is already known")
+        self._observed[row, column] = float(value)
+
+    def attribute_bounds(self) -> TupleT[np.ndarray, np.ndarray]:
+        """Per-attribute (low, high) ranges of the *known* values.
+
+        Missing values are modelled as uniform over these ranges; an
+        attribute with no known values falls back to [0, 1].
+        """
+        import warnings
+
+        with warnings.catch_warnings():
+            # All-NaN columns are handled explicitly right below.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            low = np.nanmin(self._observed, axis=0)
+            high = np.nanmax(self._observed, axis=0)
+        low = np.where(np.isnan(low), 0.0, low)
+        high = np.where(np.isnan(high), 1.0, high)
+        degenerate = high <= low
+        high = np.where(degenerate, low + 1.0, high)
+        return low, high

@@ -1,0 +1,113 @@
+"""Question-selection policies for the budgeted probabilistic skyline.
+
+[12]'s central optimization: with a fixed budget, *which* missing cells
+should the crowd materialize? Three policies, in increasing
+sophistication:
+
+* ``RANDOM`` — uniform over missing cells (the control),
+* ``UNCERTAINTY`` — cells of the tuples whose membership probability is
+  closest to 1/2 (maximum entropy first),
+* ``INFLUENCE`` — cells scored by the number of *undecided dominance
+  pairs* the tuple participates in, weighted by the tuple's membership
+  entropy: a value is worth buying when the tuple's status is genuinely
+  open *and* its resolution cascades through many dominance tests. This
+  approximates [12]'s most-influential-value selection.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple as TupleT
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.incomplete.probability import skyline_probabilities
+from repro.incomplete.relation import IncompleteRelation
+
+
+class SelectionPolicy(enum.Enum):
+    """How the budget loop picks the next missing cell to crowdsource."""
+
+    RANDOM = "random"
+    UNCERTAINTY = "uncertainty"
+    INFLUENCE = "influence"
+
+
+def _undecided_pair_matrix(observed: np.ndarray) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix of pairs whose dominance is undecided.
+
+    ``(s, t)`` is *decided* when the known cells alone prove ``s ⊀ t``
+    (``s`` strictly worse than ``t`` on some known attribute) — then no
+    completion can make ``s`` dominate ``t``. Everything else remains
+    open and is where crowdsourced values can change the skyline.
+    """
+    n = observed.shape[0]
+    undecided = np.zeros((n, n), dtype=bool)
+    for s in range(n):
+        both_known = ~np.isnan(observed[s]) & ~np.isnan(observed)
+        worse_somewhere = np.any(
+            both_known & (observed[s] > observed), axis=1
+        )
+        undecided[s] = ~worse_somewhere
+    np.fill_diagonal(undecided, False)
+    return undecided
+
+
+def _influence_scores(
+    relation: IncompleteRelation,
+    probabilities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-cell influence: open dominance pairs × membership entropy."""
+    observed = relation.observed
+    undecided = _undecided_pair_matrix(observed)
+    # A pair matters in both orientations.
+    open_pairs = (undecided | undecided.T).sum(axis=1).astype(float)
+    if probabilities is not None:
+        # 1 - |2p - 1| peaks at p = 1/2 and vanishes at certainty.
+        openness = 1.0 - np.abs(2.0 * np.asarray(probabilities) - 1.0)
+        open_pairs = open_pairs * (0.05 + openness)
+    scores = np.zeros_like(observed)
+    missing = np.isnan(observed)
+    scores[missing] = np.repeat(
+        open_pairs[:, None], observed.shape[1], axis=1
+    )[missing]
+    return scores
+
+
+def select_cell(
+    relation: IncompleteRelation,
+    policy: SelectionPolicy,
+    rng: np.random.Generator,
+    probabilities: Optional[np.ndarray] = None,
+    samples: int = 100,
+) -> TupleT[int, int]:
+    """Pick the next missing cell to crowdsource under ``policy``.
+
+    ``probabilities`` (from :func:`skyline_probabilities`) can be passed
+    in to avoid recomputation in the budget loop.
+    """
+    cells: List[TupleT[int, int]] = relation.missing_cells()
+    if not cells:
+        raise DataError("no missing cells left")
+
+    if policy is SelectionPolicy.RANDOM:
+        return cells[int(rng.integers(0, len(cells)))]
+
+    if policy is SelectionPolicy.UNCERTAINTY:
+        if probabilities is None:
+            probabilities = skyline_probabilities(
+                relation, samples=samples, rng=rng
+            )
+        # Entropy peaks at p = 1/2; deterministic tie-break by position.
+        return min(
+            cells,
+            key=lambda cell: (abs(probabilities[cell[0]] - 0.5), cell),
+        )
+
+    if probabilities is None:
+        probabilities = skyline_probabilities(
+            relation, samples=samples, rng=rng
+        )
+    scores = _influence_scores(relation, probabilities)
+    return max(cells, key=lambda cell: (scores[cell], (-cell[0], -cell[1])))

@@ -1,0 +1,15 @@
+"""Evaluation metrics (paper §6)."""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    ak_skyline,
+    ground_truth_skyline,
+    precision_recall,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "ak_skyline",
+    "ground_truth_skyline",
+    "precision_recall",
+]

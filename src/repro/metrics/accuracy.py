@@ -1,0 +1,71 @@
+"""Skyline accuracy metrics (paper §6.1).
+
+The paper measures accuracy only over the *newly retrieved* skyline
+tuples, ``SKY_A(R) − SKY_AK(R)`` — the tuples crowdsourcing is
+responsible for — with precision and recall against the ground truth
+(latent values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.skyline.bnl import bnl_skyline
+
+
+def ak_skyline(relation: Relation) -> Set[int]:
+    """``SKY_AK(R)`` — the machine skyline over known attributes only."""
+    return set(bnl_skyline(relation.known_matrix()))
+
+
+def ground_truth_skyline(relation: Relation) -> Set[int]:
+    """``SKY_A(R)`` from latent values — the ideal crowdsourced skyline."""
+    full = np.hstack([relation.known_matrix(), relation.latent_matrix()])
+    return set(bnl_skyline(full))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision/recall of a crowdsourced skyline on new skyline tuples."""
+
+    precision: float
+    recall: float
+    predicted_new: int
+    truth_new: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def precision_recall(
+    predicted_skyline: Set[int], relation: Relation
+) -> AccuracyReport:
+    """Score a predicted skyline against the latent ground truth.
+
+    Both the prediction and the truth are restricted to tuples outside
+    ``SKY_AK(R)`` (the paper's convention); a perfect-crowd run scores
+    precision = recall = 1.0. Empty prediction/truth sides score 1.0 —
+    nothing was claimed / nothing was missed.
+    """
+    base = ak_skyline(relation)
+    truth_new = ground_truth_skyline(relation) - base
+    predicted_new = set(predicted_skyline) - base
+    correct = len(predicted_new & truth_new)
+    precision = correct / len(predicted_new) if predicted_new else 1.0
+    recall = correct / len(truth_new) if truth_new else 1.0
+    return AccuracyReport(
+        precision=precision,
+        recall=recall,
+        predicted_new=len(predicted_new),
+        truth_new=len(truth_new),
+    )

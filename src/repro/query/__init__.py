@@ -1,0 +1,41 @@
+"""A small SKYLINE-OF query language (paper §1, Example 1).
+
+The paper motivates crowd-enabled skylines with a SQL-flavoured query:
+
+.. code-block:: sql
+
+    SELECT * FROM movie_db
+    WHERE year >= 2010 AND year <= 2015
+    SKYLINE OF box_office MAX, romantic MAX
+
+This subpackage implements that surface: a lexer, a recursive-descent
+parser producing a typed AST, and an executor that runs the WHERE filter
+machine-side and dispatches the SKYLINE OF clause to the crowd-enabled
+algorithms when it references crowd attributes (or to the machine skyline
+substrate otherwise).
+"""
+
+from repro.query.ast import (
+    Comparison,
+    Condition,
+    Conjunction,
+    Query,
+    SkylineSpec,
+)
+from repro.query.executor import QueryResult, execute_query
+from repro.query.lexer import Token, TokenType, tokenize
+from repro.query.parser import parse_query
+
+__all__ = [
+    "Comparison",
+    "Condition",
+    "Conjunction",
+    "Query",
+    "QueryResult",
+    "SkylineSpec",
+    "Token",
+    "TokenType",
+    "execute_query",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,77 @@
+"""Typed AST for the SKYLINE-OF query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.data.relation import Direction
+
+
+class Comparison(enum.Enum):
+    """WHERE-clause comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left: float, right: float) -> bool:
+        """Apply the comparison to two numeric values."""
+        if self is Comparison.EQ:
+            return left == right
+        if self is Comparison.NE:
+            return left != right
+        if self is Comparison.LT:
+            return left < right
+        if self is Comparison.LE:
+            return left <= right
+        if self is Comparison.GT:
+            return left > right
+        return left >= right
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single ``attribute <op> literal`` predicate."""
+
+    attribute: str
+    op: Comparison
+    literal: Union[float, str]
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """An AND-chain of conditions (the only connective the paper uses)."""
+
+    conditions: Sequence[Condition] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.conditions)
+
+
+@dataclass(frozen=True)
+class SkylineSpec:
+    """One ``attribute MIN|MAX`` item of the SKYLINE OF clause."""
+
+    attribute: str
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed query.
+
+    ``crowd_hint`` records an optional trailing ``WITH CROWD`` clause
+    that forces crowd execution even for fully-known attributes (useful
+    when a stored column is untrusted).
+    """
+
+    table: str
+    where: Conjunction = field(default_factory=Conjunction)
+    skyline: Sequence[SkylineSpec] = ()
+    projection: Sequence[str] = ("*",)
+    crowd_hint: bool = False

@@ -1,0 +1,233 @@
+"""Executor for SKYLINE-OF queries.
+
+Runs the machine-side WHERE filter, re-projects the relation onto the
+SKYLINE OF attributes (with the directions the query requests), and
+dispatches:
+
+* to the machine skyline substrate when every skyline attribute is known,
+* to a crowd-enabled algorithm (CrowdSky by default) when any skyline
+  attribute is a crowd attribute or the query says ``WITH CROWD``.
+
+Original tuple indices are preserved in the result so callers can map
+back to their data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.core.crowdsky import crowdsky
+from repro.core.result import CrowdSkylineResult
+from repro.crowd.platform import CrowdStats, SimulatedCrowd
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Relation,
+    Schema,
+    Tuple,
+)
+from repro.exceptions import QuerySemanticError
+from repro.query.ast import Condition, Query
+from repro.query.parser import parse_query
+from repro.skyline.bnl import bnl_skyline
+
+#: Signature of a crowd-enabled skyline algorithm.
+CrowdAlgorithm = Callable[..., CrowdSkylineResult]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing a SKYLINE-OF query.
+
+    ``indices`` refer to the *original* relation; ``rows`` are projected
+    dictionaries ready for display; ``stats`` is present when the crowd
+    was involved.
+    """
+
+    indices: List[int]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    used_crowd: bool = False
+    stats: Optional[CrowdStats] = None
+    algorithm: str = "machine"
+
+    def labels(self, relation: Relation) -> Set[str]:
+        """The selected tuples' labels."""
+        return {relation.label(i) for i in self.indices}
+
+
+def _condition_value(
+    relation: Relation, index: int, condition: Condition
+) -> float:
+    schema = relation.schema
+    if condition.attribute == "label":
+        raise QuerySemanticError("label conditions are handled separately")
+    attr = schema.attribute(condition.attribute)
+    if attr.is_crowd:
+        raise QuerySemanticError(
+            f"attribute {attr.name!r} is a crowd attribute; WHERE clauses "
+            "can only filter known values"
+        )
+    position = [a.name for a in schema.known_attributes].index(attr.name)
+    return relation[index].known[position]
+
+
+def _passes(relation: Relation, index: int, condition: Condition) -> bool:
+    if condition.attribute == "label":
+        if not isinstance(condition.literal, str):
+            raise QuerySemanticError("label conditions need a string literal")
+        if condition.op.value not in ("=", "!="):
+            raise QuerySemanticError(
+                "label conditions support only = and !="
+            )
+        matches = relation.label(index) == condition.literal
+        return matches if condition.op.value == "=" else not matches
+    if isinstance(condition.literal, str):
+        raise QuerySemanticError(
+            f"attribute {condition.attribute!r} compared to a string; only "
+            "the pseudo-attribute 'label' supports strings"
+        )
+    value = _condition_value(relation, index, condition)
+    return condition.op.evaluate(value, float(condition.literal))
+
+
+def _project_schema(relation: Relation, query: Query) -> Schema:
+    attrs: List[Attribute] = []
+    for spec in query.skyline:
+        base = relation.schema.attribute(spec.attribute)
+        attrs.append(Attribute(base.name, base.kind, spec.direction))
+    if query.crowd_hint and all(a.is_known for a in attrs):
+        # WITH CROWD on a known-only skyline: the last attribute is
+        # treated as untrusted — its stored values become the latent
+        # ground truth the (simulated) crowd assesses.
+        if len(attrs) < 2:
+            raise QuerySemanticError(
+                "WITH CROWD needs either a crowd attribute or at least "
+                "two skyline attributes (one stays machine-evaluated)"
+            )
+        last = attrs[-1]
+        attrs[-1] = Attribute(last.name, AttributeKind.CROWD, last.direction)
+    return Schema(attrs)
+
+
+def _project_relation(
+    relation: Relation, indices: Sequence[int], query: Query
+) -> Relation:
+    schema = _project_schema(relation, query)
+    known_names = [a.name for a in relation.schema.known_attributes]
+    crowd_names = [a.name for a in relation.schema.crowd_attributes]
+    rows: List[Tuple] = []
+    for i in indices:
+        source = relation[i]
+        known: List[float] = []
+        latent: List[float] = []
+        for attr in schema:
+            if attr.name in known_names:
+                value = source.known[known_names.index(attr.name)]
+            else:
+                value = source.latent[crowd_names.index(attr.name)]
+            # attr.kind reflects the *projected* schema — a WITH CROWD
+            # conversion routes a stored column into the latent side.
+            if attr.is_known:
+                known.append(value)
+            else:
+                latent.append(value)
+        rows.append(Tuple(known=tuple(known), latent=tuple(latent),
+                          label=source.label))
+    return Relation(schema, rows)
+
+
+def execute_query(
+    query: Union[str, Query],
+    tables: Union[Relation, Dict[str, Relation]],
+    crowd_factory: Optional[Callable[[Relation], SimulatedCrowd]] = None,
+    algorithm: CrowdAlgorithm = crowdsky,
+) -> QueryResult:
+    """Execute a SKYLINE-OF query.
+
+    Parameters
+    ----------
+    query:
+        Query text or a pre-parsed :class:`~repro.query.ast.Query`.
+    tables:
+        Either a single relation (any table name matches) or a mapping of
+        table names to relations.
+    crowd_factory:
+        Builds the crowd platform for the filtered sub-relation; defaults
+        to a perfect simulated crowd.
+    algorithm:
+        The crowd-enabled skyline algorithm (``crowdsky``,
+        ``parallel_dset``, ``parallel_sl``, ``baseline_skyline``, ...).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+
+    if isinstance(tables, Relation):
+        relation = tables
+    else:
+        try:
+            relation = tables[query.table]
+        except KeyError:
+            raise QuerySemanticError(
+                f"unknown table {query.table!r}"
+            ) from None
+
+    for name in query.projection:
+        if name != "*" and name != "label" and name not in relation.schema:
+            raise QuerySemanticError(f"unknown projection column {name!r}")
+
+    candidates = [
+        i
+        for i in range(len(relation))
+        if all(_passes(relation, i, c) for c in query.where.conditions)
+    ]
+
+    if not query.skyline:
+        return QueryResult(
+            indices=candidates,
+            rows=[_project_row(relation, i, query) for i in candidates],
+        )
+
+    filtered = _project_relation(relation, candidates, query)
+    needs_crowd = query.crowd_hint or filtered.schema.num_crowd > 0
+
+    if needs_crowd:
+        crowd = crowd_factory(filtered) if crowd_factory else None
+        result = algorithm(filtered, crowd=crowd)
+        local = sorted(result.skyline)
+        stats = result.stats
+        name = result.algorithm
+    else:
+        local = bnl_skyline(filtered.known_matrix())
+        stats = None
+        name = "machine[bnl]"
+
+    indices = [candidates[i] for i in local]
+    return QueryResult(
+        indices=indices,
+        rows=[_project_row(relation, i, query) for i in indices],
+        used_crowd=needs_crowd,
+        stats=stats,
+        algorithm=name,
+    )
+
+
+def _project_row(
+    relation: Relation, index: int, query: Query
+) -> Dict[str, object]:
+    schema = relation.schema
+    known_names = [a.name for a in schema.known_attributes]
+    row: Dict[str, object] = {}
+    columns: Sequence[str]
+    if list(query.projection) == ["*"]:
+        columns = ["label"] + known_names
+    else:
+        columns = query.projection
+    for name in columns:
+        if name == "label":
+            row["label"] = relation.label(index)
+        elif name in known_names:
+            row[name] = relation[index].known[known_names.index(name)]
+        else:
+            row[name] = None  # crowd attributes have no stored value
+    return row

@@ -1,0 +1,115 @@
+"""Tokenizer for the SKYLINE-OF query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.exceptions import QuerySyntaxError
+
+#: Reserved words, uppercased.
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "SKYLINE",
+    "OF",
+    "MIN",
+    "MAX",
+    "WITH",
+    "CROWD",
+}
+
+#: Multi- and single-character comparison/punctuation operators, longest
+#: first so ``>=`` wins over ``>``.
+OPERATORS = (">=", "<=", "!=", "=", "<", ">", ",", "*", "(", ")")
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        """Check the token's type and (case-insensitively) its value."""
+        if self.type is not type_:
+            return False
+        if value is None:
+            return True
+        return self.value.upper() == value.upper()
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise QuerySyntaxError(f"unterminated string at position {i}")
+            yield Token(TokenType.STRING, text[i + 1:end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < length and text[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            while i < length and (text[i].isdigit() or text[i] in ".eE+-"):
+                # Stop '+'/'-' unless they follow an exponent marker.
+                if text[i] in "+-" and text[i - 1] not in "eE":
+                    break
+                i += 1
+            yield Token(TokenType.NUMBER, text[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), start)
+            else:
+                yield Token(TokenType.IDENTIFIER, word, start)
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, i)
+                i += len(op)
+                break
+        else:
+            raise QuerySyntaxError(
+                f"unexpected character {ch!r} at position {i}"
+            )
+    yield Token(TokenType.END, "", length)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query string.
+
+    Raises
+    ------
+    QuerySyntaxError
+        On unterminated strings or characters outside the language.
+    """
+    return list(_scan(text))

@@ -1,0 +1,157 @@
+"""Recursive-descent parser for the SKYLINE-OF query language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT projection FROM identifier
+                  [WHERE condition (AND condition)*]
+                  [SKYLINE OF spec (, spec)*]
+                  [WITH CROWD]
+    projection := '*' | identifier (, identifier)*
+    condition  := identifier op literal
+    spec       := identifier (MIN | MAX)
+    op         := = | != | < | <= | > | >=
+    literal    := number | string
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.data.relation import Direction
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast import Comparison, Condition, Conjunction, Query, SkylineSpec
+from repro.query.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, type_: TokenType, value: str = None) -> Token:
+        token = self._current
+        if not token.matches(type_, value):
+            wanted = value or type_.value
+            raise QuerySyntaxError(
+                f"expected {wanted} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, type_: TokenType, value: str = None) -> bool:
+        if self._current.matches(type_, value):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar rules ---------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        projection = self._projection()
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect(TokenType.IDENTIFIER).value
+
+        where = Conjunction()
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._conjunction()
+
+        skyline: List[SkylineSpec] = []
+        if self._accept(TokenType.KEYWORD, "SKYLINE"):
+            self._expect(TokenType.KEYWORD, "OF")
+            skyline.append(self._skyline_spec())
+            while self._accept(TokenType.OPERATOR, ","):
+                skyline.append(self._skyline_spec())
+
+        crowd_hint = False
+        if self._accept(TokenType.KEYWORD, "WITH"):
+            self._expect(TokenType.KEYWORD, "CROWD")
+            crowd_hint = True
+
+        self._expect(TokenType.END)
+        return Query(
+            table=table,
+            where=where,
+            skyline=tuple(skyline),
+            projection=tuple(projection),
+            crowd_hint=crowd_hint,
+        )
+
+    def _projection(self) -> List[str]:
+        if self._accept(TokenType.OPERATOR, "*"):
+            return ["*"]
+        names = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.OPERATOR, ","):
+            names.append(self._expect(TokenType.IDENTIFIER).value)
+        return names
+
+    def _conjunction(self) -> Conjunction:
+        conditions = [self._condition()]
+        while self._accept(TokenType.KEYWORD, "AND"):
+            conditions.append(self._condition())
+        return Conjunction(tuple(conditions))
+
+    def _condition(self) -> Condition:
+        attribute = self._expect(TokenType.IDENTIFIER).value
+        op_token = self._expect(TokenType.OPERATOR)
+        try:
+            op = Comparison(op_token.value)
+        except ValueError:
+            raise QuerySyntaxError(
+                f"{op_token.value!r} is not a comparison operator "
+                f"(position {op_token.position})"
+            ) from None
+        literal = self._literal()
+        return Condition(attribute=attribute, op=op, literal=literal)
+
+    def _literal(self) -> Union[float, str]:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            try:
+                return float(token.value)
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"bad numeric literal {token.value!r} at position "
+                    f"{token.position}"
+                ) from None
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        raise QuerySyntaxError(
+            f"expected a literal at position {token.position}, got "
+            f"{token.value!r}"
+        )
+
+    def _skyline_spec(self) -> SkylineSpec:
+        attribute = self._expect(TokenType.IDENTIFIER).value
+        if self._accept(TokenType.KEYWORD, "MIN"):
+            direction = Direction.MIN
+        elif self._accept(TokenType.KEYWORD, "MAX"):
+            direction = Direction.MAX
+        else:
+            raise QuerySyntaxError(
+                f"expected MIN or MAX after {attribute!r} at position "
+                f"{self._current.position}"
+            )
+        return SkylineSpec(attribute=attribute, direction=direction)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SKYLINE-OF query string into a :class:`Query` AST.
+
+    Raises
+    ------
+    QuerySyntaxError
+        When the text violates the grammar.
+    """
+    return _Parser(tokenize(text)).parse()

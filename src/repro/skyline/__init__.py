@@ -1,0 +1,53 @@
+"""Machine-only skyline substrate (paper §2.2, §3.1, §4.2).
+
+These components operate on fully-known data (the ``AK`` projection, or
+the full matrix when computing ground truth):
+
+* :mod:`repro.skyline.dominance` — dominance/incomparability predicates
+  and the vectorized pairwise dominance matrix,
+* :mod:`repro.skyline.bnl` — block-nested-loops skyline (Börzsönyi 2001),
+* :mod:`repro.skyline.sfs` — sort-filter skyline (Chomicki 2003),
+* :mod:`repro.skyline.dnc` — divide & conquer skyline,
+* :mod:`repro.skyline.bskytree` — pivot-based skyline with
+  incomparability sharing (BSkyTree-style, the paper's [10]),
+* :mod:`repro.skyline.layers` — skyline layers + covering graph (§4.2),
+* :mod:`repro.skyline.dominating` — dominating sets ``DS(t)`` and pair
+  frequency ``freq(u, v)`` (§3.1, §3.4).
+"""
+
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.bskytree import bskytree_skyline
+from repro.skyline.dnc import dnc_skyline
+from repro.skyline.dominance import (
+    DominanceRelation,
+    compare,
+    dominance_matrix,
+    dominates,
+    incomparable,
+)
+from repro.skyline.dominating import (
+    dominating_sets,
+    evaluation_order,
+    pair_frequency,
+    pair_frequency_table,
+)
+from repro.skyline.layers import covering_graph, skyline_layers
+from repro.skyline.sfs import sfs_skyline
+
+__all__ = [
+    "DominanceRelation",
+    "bnl_skyline",
+    "bskytree_skyline",
+    "compare",
+    "covering_graph",
+    "dnc_skyline",
+    "dominance_matrix",
+    "dominates",
+    "dominating_sets",
+    "evaluation_order",
+    "incomparable",
+    "pair_frequency",
+    "pair_frequency_table",
+    "sfs_skyline",
+    "skyline_layers",
+]

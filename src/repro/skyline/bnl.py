@@ -1,0 +1,60 @@
+"""Block-nested-loops (BNL) skyline (Börzsönyi et al., ICDE 2001).
+
+The classic in-memory skyline algorithm: maintain a window of candidate
+skyline tuples; every incoming tuple is compared against the window and
+either discarded (dominated), inserted (incomparable with everything), or
+inserted while evicting the window tuples it dominates.
+
+Used as the machine-side substrate for computing ``SKY_AK(R)`` and for
+ground-truth skylines in the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import dominates
+
+
+def bnl_skyline(data: np.ndarray, indices: Sequence[int] = None) -> List[int]:
+    """Indices of the skyline tuples of ``data`` (smaller preferred).
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` float matrix.
+    indices:
+        Optional subset of row indices to restrict the computation to;
+        returned indices always refer to rows of ``data``.
+
+    Returns
+    -------
+    list of int
+        Skyline row indices in ascending order.
+    """
+    data = np.asarray(data, dtype=float)
+    if indices is None:
+        candidate_rows = range(data.shape[0])
+    else:
+        candidate_rows = list(indices)
+
+    window: List[int] = []
+    for i in candidate_rows:
+        row = data[i]
+        dominated = False
+        survivors: List[int] = []
+        for j in window:
+            other = data[j]
+            if dominates(other, row):
+                dominated = True
+                survivors = window  # keep window untouched
+                break
+            if not dominates(row, other):
+                survivors.append(j)
+        if dominated:
+            continue
+        survivors.append(i)
+        window = survivors
+    return sorted(window)

@@ -1,0 +1,63 @@
+"""Divide & conquer skyline (Börzsönyi et al., ICDE 2001, §5).
+
+Splits the input by the median of the first attribute, computes partial
+skylines recursively, and merges by removing the tuples of the "worse"
+half dominated by the "better" half. Provided as a third independent
+skyline substrate; the property-based tests assert that BNL, SFS and D&C
+always agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import dominates
+
+_BASE_CASE = 32
+
+
+def _brute_force(data: np.ndarray, rows: List[int]) -> List[int]:
+    result = []
+    for i in rows:
+        if not any(
+            j != i and dominates(data[j], data[i]) for j in rows
+        ):
+            result.append(i)
+    return result
+
+
+def _merge(data: np.ndarray, better: List[int], worse: List[int]) -> List[int]:
+    survivors = [
+        i for i in worse
+        if not any(dominates(data[j], data[i]) for j in better)
+    ]
+    return better + survivors
+
+
+def _dnc(data: np.ndarray, rows: List[int]) -> List[int]:
+    if len(rows) <= _BASE_CASE:
+        return _brute_force(data, rows)
+    values = data[rows, 0]
+    median = float(np.median(values))
+    low = [i for i in rows if data[i, 0] <= median]
+    high = [i for i in rows if data[i, 0] > median]
+    if not high or not low:
+        # Degenerate split (many equal values) — fall back to brute force.
+        return _brute_force(data, rows)
+    sky_low = _dnc(data, low)
+    sky_high = _dnc(data, high)
+    return _merge(data, sky_low, sky_high)
+
+
+def dnc_skyline(data: np.ndarray, indices: Sequence[int] = None) -> List[int]:
+    """Indices of the skyline tuples of ``data`` (smaller preferred).
+
+    Same contract as :func:`repro.skyline.bnl.bnl_skyline`.
+    """
+    data = np.asarray(data, dtype=float)
+    rows = list(range(data.shape[0])) if indices is None else list(indices)
+    if not rows:
+        return []
+    return sorted(_dnc(data, rows))

@@ -1,0 +1,99 @@
+"""Dominance primitives over fully-known value matrices (paper §2.2).
+
+All functions assume the canonical "smaller preferred" convention
+(relations canonicalize ``MAX`` attributes by negation, see
+:meth:`repro.data.relation.Relation.known_matrix`).
+
+Definitions (paper Definitions 1-2): ``s`` *dominates* ``t`` when ``s`` is
+no worse on every attribute and strictly better on at least one; ``s`` and
+``t`` are *incomparable* when neither dominates the other.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class DominanceRelation(enum.Enum):
+    """Outcome of comparing two tuples on known values."""
+
+    FIRST_DOMINATES = "first"
+    SECOND_DOMINATES = "second"
+    EQUAL = "equal"
+    INCOMPARABLE = "incomparable"
+
+
+def dominates(s: ArrayLike, t: ArrayLike) -> bool:
+    """True when ``s ≺ t`` (``s`` no worse everywhere, better somewhere)."""
+    s = np.asarray(s, dtype=float)
+    t = np.asarray(t, dtype=float)
+    return bool(np.all(s <= t) and np.any(s < t))
+
+
+def incomparable(s: ArrayLike, t: ArrayLike) -> bool:
+    """True when neither tuple dominates the other and they differ."""
+    return not dominates(s, t) and not dominates(t, s)
+
+
+def compare(s: ArrayLike, t: ArrayLike) -> DominanceRelation:
+    """Full three-way-plus-equal comparison of two tuples."""
+    s = np.asarray(s, dtype=float)
+    t = np.asarray(t, dtype=float)
+    s_no_worse = bool(np.all(s <= t))
+    t_no_worse = bool(np.all(t <= s))
+    if s_no_worse and t_no_worse:
+        return DominanceRelation.EQUAL
+    if s_no_worse:
+        return DominanceRelation.FIRST_DOMINATES
+    if t_no_worse:
+        return DominanceRelation.SECOND_DOMINATES
+    return DominanceRelation.INCOMPARABLE
+
+
+def dominance_matrix(data: np.ndarray, chunk_size: int = 512) -> np.ndarray:
+    """Boolean matrix ``M`` with ``M[i, j] = data[i] dominates data[j]``.
+
+    Vectorized with row chunking so memory stays at
+    ``O(chunk_size · n · d)`` — the paper's grids go to ``n = 10K`` where a
+    naive Python double loop would be prohibitive.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` float matrix, smaller preferred.
+    chunk_size:
+        Rows per broadcasting block.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    result = np.zeros((n, n), dtype=bool)
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        block = data[start:stop, None, :]  # (b, 1, d)
+        le = np.all(block <= data[None, :, :], axis=2)
+        lt = np.any(block < data[None, :, :], axis=2)
+        result[start:stop] = le & lt
+    return result
+
+
+def skyline_mask(data: np.ndarray, chunk_size: int = 512) -> np.ndarray:
+    """Boolean mask of skyline membership, computed without the full matrix.
+
+    A tuple is in the skyline iff no other tuple dominates it
+    (paper Definition 3).
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        block = data[start:stop, None, :]
+        le = np.all(block <= data[None, :, :], axis=2)
+        lt = np.any(block < data[None, :, :], axis=2)
+        dominated |= np.any(le & lt, axis=0)
+    return ~dominated

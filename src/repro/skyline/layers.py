@@ -1,0 +1,86 @@
+"""Skyline layers and the covering (dominance) graph (paper §4.2).
+
+The ``i``-th skyline layer is the skyline of the tuples not in any earlier
+layer (Definition 6). The parallelization scheduler ``ParallelSL`` uses
+the *direct pointer* set ``c(t)`` — tuples that directly point to ``t`` in
+the dominance graph. We realize ``c(t)`` as the covering relation
+(transitive reduction) of ``≺_AK``: ``s ∈ c(t)`` iff ``s ≺ t`` and no
+``w`` exists with ``s ≺ w ≺ t``. This matches the ``c(t)`` sets listed in
+the paper's Table 3 for the toy dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.skyline.dominance import dominance_matrix
+
+
+def skyline_layers_from_matrix(matrix: np.ndarray) -> List[List[int]]:
+    """Skyline layers from a precomputed dominance matrix."""
+    n = matrix.shape[0]
+    remaining = np.ones(n, dtype=bool)
+    layers: List[List[int]] = []
+    while np.any(remaining):
+        active = matrix[np.ix_(remaining, remaining)]
+        dominated_within = np.any(active, axis=0)
+        indices = np.flatnonzero(remaining)
+        layer = [int(i) for i in indices[~dominated_within]]
+        if not layer:  # pragma: no cover - cannot happen on finite posets
+            raise RuntimeError("empty skyline layer")
+        layers.append(layer)
+        remaining[layer] = False
+    return layers
+
+
+def covering_graph_from_matrix(matrix: np.ndarray) -> Dict[int, Set[int]]:
+    """Direct-pointer sets ``c(t)`` from a precomputed dominance matrix.
+
+    ``s`` is a direct dominator of ``t`` iff ``s ≺ t`` with no
+    intermediate ``w`` (``s ≺ w ≺ t``) — i.e. ``s`` dominates none of
+    ``t``'s other dominators. One submatrix reduction per tuple keeps
+    this vectorized (`the paper's grids reach n = 10K`).
+    """
+    n = matrix.shape[0]
+    result: Dict[int, Set[int]] = {}
+    for t in range(n):
+        dominators = np.flatnonzero(matrix[:, t])
+        if dominators.size == 0:
+            result[t] = set()
+            continue
+        sub = matrix[np.ix_(dominators, dominators)]
+        direct_mask = ~sub.any(axis=1)
+        result[t] = {int(s) for s in dominators[direct_mask]}
+    return result
+
+
+def skyline_layers(data: np.ndarray) -> List[List[int]]:
+    """Partition row indices into skyline layers ``SL1, SL2, ...``.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` float matrix, smaller preferred.
+
+    Returns
+    -------
+    list of list of int
+        Layers in order; their concatenation is a permutation of
+        ``range(n)``.
+    """
+    return skyline_layers_from_matrix(dominance_matrix(np.asarray(data, dtype=float)))
+
+
+def covering_graph(data: np.ndarray) -> Dict[int, Set[int]]:
+    """Direct-pointer sets ``c(t)`` of the dominance graph.
+
+    Returns a mapping ``t -> c(t)`` where ``c(t)`` holds the covering
+    dominators of ``t`` (the transitive reduction of ``≺``). Tuples with
+    no dominator map to the empty set.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    matrix = dominance_matrix(data)
+    return covering_graph_from_matrix(matrix)

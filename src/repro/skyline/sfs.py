@@ -1,0 +1,49 @@
+"""Sort-filter skyline (SFS, Chomicki et al. 2003).
+
+Tuples are first sorted by a monotone scoring function (sum of
+coordinates); in that order, a tuple can only be dominated by tuples that
+precede it, so a single forward pass against the running skyline window
+suffices — and no window tuple is ever evicted. Typically much faster than
+BNL on large inputs; both are provided as independent substrates and
+cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.skyline.dominance import dominates
+
+
+def sfs_skyline(data: np.ndarray, indices: Sequence[int] = None) -> List[int]:
+    """Indices of the skyline tuples of ``data`` (smaller preferred).
+
+    Same contract as :func:`repro.skyline.bnl.bnl_skyline`.
+    """
+    data = np.asarray(data, dtype=float)
+    if indices is None:
+        rows = np.arange(data.shape[0])
+    else:
+        rows = np.asarray(list(indices), dtype=int)
+    if rows.size == 0:
+        return []
+
+    subset = data[rows]
+    scores = subset.sum(axis=1)
+    # Primary key: the monotone score. Tie-break lexicographically by the
+    # attribute values — among score ties (possible through floating-point
+    # rounding even when one tuple strictly dominates the other), a
+    # dominating tuple is componentwise ≤ and therefore sorts first,
+    # preserving the SFS invariant that dominators precede dominatees.
+    keys = tuple(subset[:, j] for j in range(subset.shape[1] - 1, -1, -1))
+    order = rows[np.lexsort(keys + (scores,))]
+
+    window: List[int] = []
+    for i in order:
+        row = data[i]
+        if any(dominates(data[j], row) for j in window):
+            continue
+        window.append(int(i))
+    return sorted(window)

@@ -1,0 +1,22 @@
+"""Crowd-powered sorting substrate (paper §3's Baseline).
+
+* :mod:`repro.sorting.tournament` — tournament sort driven by an
+  arbitrary ternary comparator (crowd questions when used by
+  :func:`repro.core.baseline.baseline_skyline`),
+* :mod:`repro.sorting.comparators` — comparator adapters: crowd-backed,
+  latent-truth, and counting wrappers.
+"""
+
+from repro.sorting.comparators import (
+    CountingComparator,
+    crowd_comparator,
+    truth_comparator,
+)
+from repro.sorting.tournament import tournament_sort
+
+__all__ = [
+    "CountingComparator",
+    "crowd_comparator",
+    "tournament_sort",
+    "truth_comparator",
+]

@@ -1,0 +1,108 @@
+"""Bitonic sorting network with a pluggable ternary comparator.
+
+§3 of the paper names bitonic sort (Cormen et al. [3]) alongside
+tournament sort as a crowd-sorting baseline. A bitonic network is
+*oblivious*: the comparison schedule is fixed in advance, independent of
+answers, so each stage's comparisons are mutually independent and can be
+asked to the crowd in one round — ``O(log² n)`` rounds total, at the
+price of ``O(n log² n)`` comparisons (more than the tournament's
+``O(n log n)``). The classic latency/cost trade-off of §2.1.
+
+:func:`bitonic_schedule` exposes the raw stage structure so callers can
+batch each stage as a crowd round; :func:`bitonic_sort` runs the network
+against a comparator directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.crowd.questions import Preference
+
+Comparator = Callable[[int, int], Preference]
+
+
+def _next_power_of_two(n: int) -> int:
+    size = 1
+    while size < n:
+        size *= 2
+    return size
+
+
+def bitonic_schedule(n: int) -> List[List[Tuple[int, int]]]:
+    """The comparison stages of a bitonic network over ``n`` slots.
+
+    Returns a list of stages; each stage is a list of slot-index pairs
+    ``(i, j)`` with ``i < j`` that compare-and-swap concurrently. Padding
+    slots (``>= n``) are included — callers with ragged inputs should
+    treat them as "always loses".
+    """
+    size = _next_power_of_two(n)
+    stages: List[List[Tuple[int, int]]] = []
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            stage = []
+            for i in range(size):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    stage.append((i, partner) if ascending
+                                 else (partner, i))
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return stages
+
+
+def bitonic_sort(
+    items: Sequence[int],
+    compare: Comparator,
+    on_stage: Callable[[List[Tuple[int, int]]], None] = None,
+) -> List[int]:
+    """Sort ``items`` most-preferred-first through a bitonic network.
+
+    Parameters
+    ----------
+    items:
+        Item identifiers (typically tuple indices).
+    compare:
+        Ternary comparator; ``LEFT`` means the first argument is
+        preferred. ``EQUAL`` keeps the current arrangement.
+    on_stage:
+        Optional callback invoked once per network stage with the item
+        pairs actually compared — used by the crowd baseline to count
+        one *round* per stage.
+    """
+    items = list(items)
+    n = len(items)
+    if n <= 1:
+        return items
+    size = _next_power_of_two(n)
+    # Slots beyond n hold None (treated as least preferred).
+    slots: List[int] = items + [None] * (size - n)
+
+    for stage in bitonic_schedule(n):
+        live: List[Tuple[int, int, int, int]] = []
+        swaps = []
+        for lo, hi in stage:
+            a, b = slots[lo], slots[hi]
+            if a is None and b is None:
+                continue
+            if a is None:
+                swaps.append((lo, hi))  # padding sinks below real items
+                continue
+            if b is None:
+                continue
+            live.append((lo, hi, a, b))
+        # Announce the stage first so a crowd-backed comparator can batch
+        # all of its questions into a single round.
+        if on_stage is not None and live:
+            on_stage([(a, b) for _, _, a, b in live])
+        for lo, hi, a, b in live:
+            if compare(a, b) is Preference.RIGHT:
+                swaps.append((lo, hi))
+        for lo, hi in swaps:
+            slots[lo], slots[hi] = slots[hi], slots[lo]
+    return [item for item in slots if item is not None]

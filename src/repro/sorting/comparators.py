@@ -1,0 +1,59 @@
+"""Comparator adapters for the sorting substrate."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.crowd.platform import SimulatedCrowd
+from repro.crowd.questions import PairwiseQuestion, Preference
+
+Comparator = Callable[[int, int], Preference]
+
+
+def crowd_comparator(crowd: SimulatedCrowd, attribute: int = 0) -> Comparator:
+    """A comparator that asks the crowd, one question per round.
+
+    Repeated comparisons of the same pair are served from the platform's
+    answer cache, so tournament replays never pay twice.
+    """
+
+    def compare(u: int, v: int) -> Preference:
+        return crowd.ask_pairwise(PairwiseQuestion(u, v, attribute))
+
+    return compare
+
+
+def truth_comparator(latent: np.ndarray, attribute: int = 0) -> Comparator:
+    """A machine comparator over latent values (for tests/ground truth)."""
+
+    column = np.asarray(latent, dtype=float)[:, attribute]
+
+    def compare(u: int, v: int) -> Preference:
+        if column[u] < column[v]:
+            return Preference.LEFT
+        if column[v] < column[u]:
+            return Preference.RIGHT
+        return Preference.EQUAL
+
+    return compare
+
+
+class CountingComparator:
+    """Wraps a comparator and counts distinct and total invocations."""
+
+    def __init__(self, inner: Comparator):
+        self._inner = inner
+        self.calls = 0
+        self._seen = set()
+
+    @property
+    def distinct_pairs(self) -> int:
+        """Number of distinct unordered pairs compared."""
+        return len(self._seen)
+
+    def __call__(self, u: int, v: int) -> Preference:
+        self.calls += 1
+        self._seen.add((u, v) if u < v else (v, u))
+        return self._inner(u, v)

@@ -1,0 +1,96 @@
+"""Tournament sort with a pluggable ternary comparator.
+
+The paper's Baseline replaces the comparisons of a classic tournament
+sort (Cormen et al. [3]) with binary crowd questions: the winner of the
+tournament is the most preferred tuple; extracting it and replaying the
+matches along its path yields the next one with ``⌈log₂ n⌉`` new
+comparisons, giving ``n − 1 + (n − 1)⌈log₂ n⌉`` comparisons for a full
+total order — "the minimum number of questions" among the sorting
+baselines the paper considers.
+
+The comparator returns a :class:`~repro.crowd.questions.Preference`
+(LEFT = first argument preferred). ``EQUAL`` keeps the first argument as
+the match winner, which makes the sort stable for tied items.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.crowd.questions import Preference
+
+Comparator = Callable[[int, int], Preference]
+
+
+class _TournamentTree:
+    """Loser-replay tournament over a fixed item set."""
+
+    def __init__(self, items: Sequence[int], compare: Comparator):
+        self._compare = compare
+        size = 1
+        while size < len(items):
+            size *= 2
+        self._size = size
+        # Leaves occupy [size, 2*size); internal node i has children 2i,
+        # 2i+1; node 1 is the root.
+        self._nodes: List[Optional[int]] = [None] * (2 * size)
+        self._leaf_of = {}
+        for offset, item in enumerate(items):
+            self._nodes[size + offset] = item
+            self._leaf_of[item] = size + offset
+        for node in range(size - 1, 0, -1):
+            self._nodes[node] = self._play(
+                self._nodes[2 * node], self._nodes[2 * node + 1]
+            )
+
+    def _play(self, a: Optional[int], b: Optional[int]) -> Optional[int]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        answer = self._compare(a, b)
+        return b if answer is Preference.RIGHT else a
+
+    @property
+    def winner(self) -> Optional[int]:
+        """Current overall winner (most preferred remaining item)."""
+        return self._nodes[1]
+
+    def remove_winner(self) -> int:
+        """Pop the winner and replay its path to find the next one."""
+        item = self._nodes[1]
+        if item is None:
+            raise IndexError("tournament is empty")
+        node = self._leaf_of[item]
+        self._nodes[node] = None
+        node //= 2
+        while node >= 1:
+            self._nodes[node] = self._play(
+                self._nodes[2 * node], self._nodes[2 * node + 1]
+            )
+            node //= 2
+        return item
+
+
+def tournament_sort(
+    items: Sequence[int], compare: Comparator
+) -> List[int]:
+    """Sort ``items`` most-preferred-first using tournament selection.
+
+    Parameters
+    ----------
+    items:
+        The item identifiers to sort (typically tuple indices).
+    compare:
+        Ternary comparator; ``LEFT`` means the first argument is
+        preferred. Comparator implementations may cache or crowdsource —
+        the sort only sees the answers.
+    """
+    items = list(items)
+    if len(items) <= 1:
+        return items
+    tree = _TournamentTree(items, compare)
+    output: List[int] = []
+    for _ in range(len(items)):
+        output.append(tree.remove_winner())
+    return output

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.data.toy import figure1_dataset, figure3_dataset
+
+
+@pytest.fixture
+def toy():
+    """The paper's Figure 1 toy dataset (fresh copy per test)."""
+    return figure1_dataset()
+
+
+@pytest.fixture
+def toy_fig3():
+    """The paper's Figure 3 anti-correlated toy dataset."""
+    return figure3_dataset()
+
+
+@pytest.fixture
+def small_independent():
+    """A small deterministic IND dataset (n=80, |AK|=3, |AC|=1)."""
+    return generate_synthetic(
+        80, 3, 1, Distribution.INDEPENDENT, seed=42
+    )
+
+
+@pytest.fixture
+def small_anti():
+    """A small deterministic ANT dataset (n=60, |AK|=2, |AC|=1)."""
+    return generate_synthetic(
+        60, 2, 1, Distribution.ANTI_CORRELATED, seed=7
+    )
+
+
+@pytest.fixture
+def multi_crowd():
+    """A dataset with two crowd attributes (n=50, |AK|=2, |AC|=2)."""
+    return generate_synthetic(
+        50, 2, 2, Distribution.INDEPENDENT, seed=11
+    )
+
+
+def make_relation(known_rows, latent_rows=None, directions=None):
+    """Helper to build small relations inline in tests.
+
+    ``known_rows`` is a list of known-value tuples; ``latent_rows`` the
+    matching latent tuples (one crowd attribute per element).
+    """
+    known_rows = [tuple(row) for row in known_rows]
+    num_known = len(known_rows[0])
+    num_crowd = len(latent_rows[0]) if latent_rows else 0
+    directions = directions or [Direction.MIN] * (num_known + num_crowd)
+    attrs = [
+        Attribute(f"A{i + 1}", AttributeKind.KNOWN, directions[i])
+        for i in range(num_known)
+    ]
+    attrs += [
+        Attribute(
+            f"C{j + 1}",
+            AttributeKind.CROWD,
+            directions[num_known + j],
+        )
+        for j in range(num_crowd)
+    ]
+    rows = []
+    for i, known in enumerate(known_rows):
+        latent = tuple(latent_rows[i]) if latent_rows else ()
+        rows.append(Tuple(known=known, latent=latent))
+    return Relation(Schema(attrs), rows)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(2024)

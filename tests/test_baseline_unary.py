@@ -1,0 +1,142 @@
+"""Tests for the tournament Baseline and the Unary [12] simulation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import baseline_skyline, crowd_ranks
+from repro.core.crowdsky import crowdsky
+from repro.core.unary import unary_skyline
+from repro.crowd.platform import SimulatedCrowd
+from repro.crowd.voting import StaticVoting
+from repro.crowd.workers import WorkerPool
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.data.toy import FIGURE1_SKYLINE_LABELS, figure1_dataset
+from repro.exceptions import CrowdSkyError
+from repro.metrics.accuracy import ground_truth_skyline, precision_recall
+from repro.sorting.comparators import CountingComparator, truth_comparator
+from repro.sorting.tournament import tournament_sort
+from tests.conftest import make_relation
+
+
+class TestTournamentSort:
+    def test_empty_and_single(self):
+        compare = truth_comparator(np.asarray([[1.0]]))
+        assert tournament_sort([], compare) == []
+        assert tournament_sort([0], compare) == [0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.permutations(list(range(12))))
+    def test_sorts_any_permutation(self, values):
+        latent = np.asarray([[float(v)] for v in values])
+        order = tournament_sort(range(12), truth_comparator(latent))
+        assert [values[i] for i in order] == sorted(values)
+
+    def test_comparison_count_near_n_log_n(self):
+        n = 64
+        latent = np.random.default_rng(0).random((n, 1))
+        counter = CountingComparator(truth_comparator(latent))
+        tournament_sort(range(n), counter)
+        upper = (n - 1) * (1 + math.ceil(math.log2(n)))
+        assert counter.calls <= upper
+
+    def test_ties_keep_stable_order(self):
+        latent = np.asarray([[1.0], [1.0], [0.5]])
+        order = tournament_sort(range(3), truth_comparator(latent))
+        assert order == [2, 0, 1]
+
+    def test_non_power_of_two_sizes(self):
+        for n in (3, 5, 7, 13):
+            latent = np.asarray([[float((i * 7) % n)] for i in range(n)])
+            order = tournament_sort(range(n), truth_comparator(latent))
+            sorted_values = [latent[i, 0] for i in order]
+            assert sorted_values == sorted(sorted_values)
+
+
+class TestBaselineSkyline:
+    def test_requires_crowd_attribute(self):
+        with pytest.raises(CrowdSkyError):
+            baseline_skyline(make_relation([(1, 2)]))
+
+    def test_toy_skyline(self, toy):
+        result = baseline_skyline(toy)
+        assert result.skyline_labels(toy) == set(FIGURE1_SKYLINE_LABELS)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_ground_truth_with_perfect_crowd(self, seed):
+        relation = generate_synthetic(
+            60, 3, 1, Distribution.INDEPENDENT, seed=seed
+        )
+        result = baseline_skyline(relation)
+        assert result.skyline == ground_truth_skyline(relation)
+
+    def test_multi_crowd_attributes(self):
+        relation = generate_synthetic(
+            30, 2, 2, Distribution.INDEPENDENT, seed=4
+        )
+        result = baseline_skyline(relation)
+        assert result.skyline == ground_truth_skyline(relation)
+
+    def test_more_questions_than_crowdsky(self):
+        baseline = baseline_skyline(
+            generate_synthetic(100, 3, 1, Distribution.INDEPENDENT, seed=5)
+        )
+        smart = crowdsky(
+            generate_synthetic(100, 3, 1, Distribution.INDEPENDENT, seed=5)
+        )
+        assert baseline.stats.questions > 2 * smart.stats.questions
+
+    def test_serial_rounds_equal_questions(self, toy):
+        result = baseline_skyline(figure1_dataset())
+        assert result.stats.rounds == result.stats.questions
+
+    def test_crowd_ranks_tie_grouping(self):
+        relation = make_relation(
+            [(1, 1), (2, 2), (3, 3)],
+            [(5,), (5,), (9,)],
+        )
+        crowd = SimulatedCrowd(relation)
+        ranks = crowd_ranks(relation, crowd, 0)
+        assert ranks[0] == ranks[1] < ranks[2]
+
+
+class TestUnarySkyline:
+    def test_requires_crowd_attribute(self):
+        with pytest.raises(CrowdSkyError):
+            unary_skyline(make_relation([(1, 2)]))
+
+    def test_perfect_crowd_exact(self, toy):
+        result = unary_skyline(toy)
+        assert result.skyline_labels(toy) == set(FIGURE1_SKYLINE_LABELS)
+
+    def test_one_round_per_crowd_attribute(self):
+        relation = generate_synthetic(
+            40, 2, 2, Distribution.INDEPENDENT, seed=6
+        )
+        result = unary_skyline(relation)
+        assert result.stats.rounds == 2
+        assert result.stats.questions == 80
+
+    def test_noisy_estimates_reduce_accuracy(self):
+        relation = generate_synthetic(
+            200, 3, 1, Distribution.INDEPENDENT, seed=7
+        )
+        crowd = SimulatedCrowd(
+            relation,
+            pool=WorkerPool.uniform(accuracy=0.8, unary_sigma=0.3),
+            voting=StaticVoting(5),
+            seed=7,
+        )
+        result = unary_skyline(relation, crowd=crowd)
+        report = precision_recall(result.skyline, relation)
+        assert report.f1 < 1.0
+
+    def test_worker_assignments_respect_omega(self, toy):
+        crowd = SimulatedCrowd(
+            toy, pool=WorkerPool.uniform(), voting=StaticVoting(5), seed=1
+        )
+        unary_skyline(toy, crowd=crowd, omega=3)
+        assert crowd.stats.worker_assignments == 3 * len(toy)

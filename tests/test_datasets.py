@@ -1,0 +1,216 @@
+"""Tests for the toy and real-life datasets against the paper's facts."""
+
+import numpy as np
+import pytest
+
+from repro.data.mlb import PAPER_Q3_SKYLINE, PITCHERS, mlb_dataset, perceived_value
+from repro.data.movies import (
+    MOVIES,
+    PAPER_Q2_AK_SKYLINE,
+    PAPER_Q2_SKYLINE,
+    movies_dataset,
+)
+from repro.data.rectangles import rectangles_dataset, true_size
+from repro.data.toy import (
+    FIGURE1_KNOWN,
+    FIGURE1_LATENT_ORDER,
+    FIGURE1_SKYLINE_LABELS,
+    FIGURE3_LATENT_ORDER,
+    figure1_dataset,
+    figure3_dataset,
+)
+from repro.metrics.accuracy import ak_skyline, ground_truth_skyline
+
+
+class TestFigure1Dataset:
+    def test_twelve_tuples_with_paper_values(self, toy):
+        assert len(toy) == 12
+        for label, values in FIGURE1_KNOWN.items():
+            row = toy[toy.index_of(label)]
+            assert row.known == tuple(float(v) for v in values)
+
+    def test_ak_skyline_is_b_e_i_l(self, toy):
+        labels = {toy.label(i) for i in ak_skyline(toy)}
+        assert labels == {"b", "e", "i", "l"}
+
+    def test_ground_truth_skyline_matches_paper(self, toy):
+        labels = {toy.label(i) for i in ground_truth_skyline(toy)}
+        assert labels == set(FIGURE1_SKYLINE_LABELS)
+
+    def test_latent_order_covers_all_tuples(self):
+        assert sorted(FIGURE1_LATENT_ORDER) == sorted(FIGURE1_KNOWN)
+
+    @pytest.mark.parametrize(
+        "preferred, over",
+        [
+            # Every preference the paper's worked examples reveal.
+            ("b", "a"), ("e", "b"), ("f", "e"), ("e", "c"), ("e", "d"),
+            ("e", "g"), ("e", "i"), ("h", "e"), ("f", "h"), ("k", "i"),
+            ("i", "l"), ("f", "j"),
+        ],
+    )
+    def test_latent_order_satisfies_paper_constraints(
+        self, toy, preferred, over
+    ):
+        latent = toy.latent_matrix()[:, 0]
+        assert latent[toy.index_of(preferred)] < latent[toy.index_of(over)]
+
+
+class TestFigure3Dataset:
+    def test_ten_tuples(self, toy_fig3):
+        assert len(toy_fig3) == 10
+
+    def test_ak_skyline(self, toy_fig3):
+        labels = {toy_fig3.label(i) for i in ak_skyline(toy_fig3)}
+        assert labels == {"b", "e", "i", "j"}
+
+    def test_uniform_dominating_sets(self, toy_fig3):
+        """Every AK-non-skyline tuple is dominated by exactly {b, e, i, j}."""
+        from repro.skyline.dominating import dominating_sets
+
+        ds = dominating_sets(toy_fig3.known_matrix())
+        expected = {
+            toy_fig3.index_of(x) for x in ("b", "e", "i", "j")
+        }
+        for label in "acdfgh":
+            assert ds[toy_fig3.index_of(label)] == expected
+
+    def test_e_most_preferred(self, toy_fig3):
+        latent = toy_fig3.latent_matrix()[:, 0]
+        assert int(np.argmin(latent)) == toy_fig3.index_of("e")
+
+    def test_latent_order_covers_all(self, toy_fig3):
+        assert sorted(FIGURE3_LATENT_ORDER) == sorted(
+            toy_fig3.label(i) for i in range(len(toy_fig3))
+        )
+
+
+class TestRectangles:
+    def test_fifty_rectangles(self):
+        assert len(rectangles_dataset()) == 50
+
+    def test_true_size_formula(self):
+        assert true_size(0) == (30, 40)
+        assert true_size(49) == (30 + 3 * 49, 40 + 5 * 49)
+
+    def test_latent_is_true_area(self):
+        relation = rectangles_dataset()
+        for i, row in enumerate(relation):
+            w0, h0 = true_size(i)
+            assert row.latent == (float(w0 * h0),)
+
+    def test_bbox_at_least_original(self):
+        """A rotated bounding box never shrinks below the true sides."""
+        relation = rectangles_dataset()
+        for i, row in enumerate(relation):
+            w0, h0 = true_size(i)
+            width, height = row.known
+            assert width >= min(w0, h0) - 1e-9
+            assert height >= min(w0, h0) - 1e-9
+            assert max(width, height) <= float(w0 + h0)
+
+    def test_seed_controls_rotation(self):
+        a = rectangles_dataset(seed=1)
+        b = rectangles_dataset(seed=2)
+        assert a[0].known != b[0].known
+
+    def test_crowd_attribute_is_area_max(self):
+        schema = rectangles_dataset().schema
+        (crowd,) = schema.crowd_attributes
+        assert crowd.name == "area"
+
+
+class TestMovies:
+    def test_fifty_movies(self):
+        assert len(MOVIES) == 50
+        assert len(movies_dataset()) == 50
+
+    def test_unique_titles(self):
+        titles = [title for title, *_ in MOVIES]
+        assert len(set(titles)) == 50
+
+    def test_years_within_paper_range(self):
+        assert all(2000 <= year <= 2012 for _, year, _, _ in MOVIES)
+
+    def test_ak_skyline_matches_paper(self):
+        relation = movies_dataset()
+        labels = {relation.label(i) for i in ak_skyline(relation)}
+        assert labels == PAPER_Q2_AK_SKYLINE
+
+    def test_ground_truth_skyline_matches_paper(self):
+        relation = movies_dataset()
+        labels = {relation.label(i) for i in ground_truth_skyline(relation)}
+        assert labels == PAPER_Q2_SKYLINE
+
+    def test_new_skyline_movies_average_rating_high(self):
+        """§6.2: the three newly retrieved movies average ~8.7/10."""
+        ratings = {title: rating for title, _, _, rating in MOVIES}
+        new = PAPER_Q2_SKYLINE - PAPER_Q2_AK_SKYLINE
+        average = sum(ratings[title] for title in new) / len(new)
+        assert 8.5 <= average <= 8.9
+
+
+class TestMLB:
+    def test_forty_pitchers(self):
+        assert len(PITCHERS) == 40
+        assert len(mlb_dataset()) == 40
+
+    def test_ak_skyline_is_cy_young_candidates(self):
+        relation = mlb_dataset()
+        labels = {relation.label(i) for i in ak_skyline(relation)}
+        assert labels == PAPER_Q3_SKYLINE
+
+    def test_ground_truth_skyline_matches_paper(self):
+        relation = mlb_dataset()
+        labels = {relation.label(i) for i in ground_truth_skyline(relation)}
+        assert labels == PAPER_Q3_SKYLINE
+
+    def test_perceived_value_monotone(self):
+        base = perceived_value(15, 200, 3.00)
+        assert perceived_value(16, 200, 3.00) > base
+        assert perceived_value(15, 210, 3.00) > base
+        assert perceived_value(15, 200, 2.80) > base
+
+    def test_era_direction_is_min(self):
+        schema = mlb_dataset().schema
+        era = schema.attribute("era")
+        from repro.data.relation import Direction
+
+        assert era.direction is Direction.MIN
+
+
+class TestNBA:
+    def test_fifty_players(self):
+        from repro.data.nba import PLAYERS, nba_dataset
+
+        assert len(PLAYERS) == 50
+        assert len(nba_dataset()) == 50
+
+    def test_unique_names(self):
+        from repro.data.nba import PLAYERS
+
+        names = [name for name, *_ in PLAYERS]
+        assert len(set(names)) == 50
+
+    def test_impact_monotone(self):
+        from repro.data.nba import perceived_impact
+
+        base = perceived_impact(20.0, 8.0, 5.0)
+        assert perceived_impact(21.0, 8.0, 5.0) > base
+        assert perceived_impact(20.0, 9.0, 5.0) > base
+        assert perceived_impact(20.0, 8.0, 6.0) > base
+
+    def test_crowd_skyline_equals_ak_skyline(self):
+        """A monotone latent never adds skyline tuples beyond AK."""
+        from repro.data.nba import nba_dataset
+
+        relation = nba_dataset()
+        assert ground_truth_skyline(relation) == ak_skyline(relation)
+
+    def test_lebron_in_skyline(self):
+        from repro.data.nba import nba_dataset
+
+        relation = nba_dataset()
+        labels = {relation.label(i) for i in ak_skyline(relation)}
+        assert "LeBron James" in labels
+        assert "Kevin Durant" in labels

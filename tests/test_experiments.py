@@ -1,0 +1,126 @@
+"""Tests for the experiment harness, table reproductions and the CLI."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.report import format_rows, format_table
+from repro.experiments.tables import (
+    table1_rows,
+    table2_question_total,
+    table2_rows,
+    table3_rows,
+)
+
+
+class TestTables:
+    def test_table1_totals_26_questions(self):
+        rows = table1_rows()
+        assert sum(row["|DS(t)|"] for row in rows) == 26
+
+    def test_table1_contents(self):
+        rows = {row["t"]: row for row in table1_rows()}
+        assert rows["a"]["DS(t)"] == "{b}"
+        assert rows["j"]["DS(t)"] == "{a, b, d, e, f, g, h, i}"
+        assert rows["k"]["Q(t)"] == "(k, i), (k, l)"
+
+    def test_table2_order(self):
+        order = [row["t"] for row in table2_rows()]
+        assert order == ["a", "g", "d", "k", "c", "f", "h", "j"]
+
+    def test_table2_totals_18_questions(self):
+        """Example 4: pruning a, g, d leaves 18 questions."""
+        assert table2_question_total() == 18
+
+    def test_table2_pruned_sets(self):
+        rows = {row["t"]: row for row in table2_rows()}
+        assert rows["c"]["Q(t) after P1"] == "(c, b), (c, e)"
+        assert rows["j"]["Q(t) after P1"] == (
+            "(j, b), (j, e), (j, f), (j, h), (j, i)"
+        )
+
+    def test_table3_six_rounds(self):
+        rows = table3_rows()
+        round_rows = [row for row in rows if isinstance(row["round"], int)]
+        assert len(round_rows) == 6
+        assert "(a, b)" in round_rows[0]["questions"]
+        assert round_rows[5]["questions"] == "(f, j)"
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "table3",
+            "fig6a", "fig6b", "fig6c",
+            "fig7a", "fig7b", "fig7c",
+            "fig8", "fig9", "fig10", "fig11",
+            "fig12a", "fig12b", "q_accuracy", "extra_lofi",
+            "extra_latency",
+        }
+        assert set(available_experiments()) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table1", scale="galactic")
+
+    def test_table_experiment_runs(self):
+        result = run_experiment("table1", scale="smoke")
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+
+    def test_question_sweep_smoke(self):
+        result = run_experiment("fig6a", scale="smoke")
+        assert {"Baseline", "DSet", "P1", "P1+P2", "P1+P2+P3"} <= set(
+            result.columns
+        )
+        for row in result.rows:
+            assert row["P1+P2+P3"] <= row["Baseline"]
+
+    def test_rounds_sweep_smoke(self):
+        result = run_experiment("fig8", scale="smoke")
+        for row in result.rows:
+            assert row["ParallelSL"] <= row["Serial"]
+            assert row["ParallelDSet"] <= row["Serial"]
+
+    def test_voting_accuracy_smoke(self):
+        result = run_experiment("fig10", scale="smoke")
+        for row in result.rows:
+            assert 0.0 <= row["StaticVoting precision"] <= 1.0
+            assert 0.0 <= row["DynamicVoting recall"] <= 1.0
+
+
+class TestReport:
+    def test_format_rows_alignment(self):
+        text = format_rows(["a", "b"], [{"a": 1, "b": 2.5}, {"a": 10}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_includes_title(self):
+        result = run_experiment("table1", scale="smoke")
+        text = format_table(result)
+        assert "table1" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table1" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke"]) == 0
+        assert "Dominating sets" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,233 @@
+"""Tests for the [12]-style probabilistic skyline subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.incomplete import (
+    IncompleteRelation,
+    SelectionPolicy,
+    lofi_skyline,
+    skyline_probabilities,
+)
+from repro.incomplete.probability import sample_completions
+from repro.incomplete.selection import (
+    _influence_scores,
+    _undecided_pair_matrix,
+    select_cell,
+)
+from repro.skyline.dominance import skyline_mask
+
+
+@pytest.fixture
+def truth(rng):
+    return rng.random((40, 3))
+
+
+@pytest.fixture
+def relation(truth):
+    return IncompleteRelation.mask_random_cells(truth, 0.25, seed=5)
+
+
+class TestIncompleteRelation:
+    def test_shapes_validated(self):
+        with pytest.raises(DataError):
+            IncompleteRelation(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_truth_must_be_complete(self):
+        observed = np.asarray([[1.0, np.nan]])
+        truth = np.asarray([[1.0, np.nan]])
+        with pytest.raises(DataError):
+            IncompleteRelation(observed, truth)
+
+    def test_observed_must_agree_with_truth(self):
+        observed = np.asarray([[1.0, 2.0]])
+        truth = np.asarray([[1.0, 3.0]])
+        with pytest.raises(DataError):
+            IncompleteRelation(observed, truth)
+
+    def test_mask_random_cells_rate(self, truth):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.5, seed=0)
+        rate = relation.num_missing / truth.size
+        assert 0.3 < rate < 0.7
+
+    def test_mask_rate_validated(self, truth):
+        with pytest.raises(DataError):
+            IncompleteRelation.mask_random_cells(truth, 1.5, seed=0)
+
+    def test_fill_only_missing(self, relation):
+        row, col = relation.missing_cells()[0]
+        relation.fill(row, col, 0.5)
+        with pytest.raises(DataError):
+            relation.fill(row, col, 0.7)
+
+    def test_fill_reduces_missing(self, relation):
+        before = relation.num_missing
+        row, col = relation.missing_cells()[0]
+        relation.fill(row, col, 0.5)
+        assert relation.num_missing == before - 1
+
+    def test_bounds_cover_known_values(self, relation):
+        low, high = relation.attribute_bounds()
+        observed = relation.observed
+        for j in range(relation.d):
+            column = observed[:, j]
+            known = column[~np.isnan(column)]
+            if known.size:
+                assert low[j] <= known.min()
+                assert high[j] >= known.max()
+
+    def test_bounds_degenerate_attribute(self):
+        observed = np.asarray([[np.nan], [np.nan]])
+        truth = np.asarray([[0.3], [0.7]])
+        relation = IncompleteRelation(observed, truth)
+        low, high = relation.attribute_bounds()
+        assert high[0] > low[0]
+
+    def test_observed_returns_copy(self, relation):
+        matrix = relation.observed
+        matrix[:] = 0.0
+        assert relation.num_missing > 0  # original untouched
+
+
+class TestProbabilities:
+    def test_complete_relation_gives_binary(self, truth):
+        relation = IncompleteRelation(truth, truth)
+        probabilities = skyline_probabilities(relation, seed=1)
+        assert set(np.unique(probabilities)) <= {0.0, 1.0}
+        expected = skyline_mask(truth).astype(float)
+        assert np.array_equal(probabilities, expected)
+
+    def test_probabilities_in_unit_interval(self, relation):
+        probabilities = skyline_probabilities(relation, samples=50, seed=2)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    def test_known_dominated_tuple_has_zero_probability(self):
+        # Tuple 1 is dominated by tuple 0 on fully-known values.
+        observed = np.asarray([[0.1, 0.1], [0.9, 0.9], [np.nan, 0.5]])
+        truth = np.asarray([[0.1, 0.1], [0.9, 0.9], [0.4, 0.5]])
+        relation = IncompleteRelation(observed, truth)
+        probabilities = skyline_probabilities(relation, samples=80, seed=3)
+        assert probabilities[1] == 0.0
+        assert probabilities[0] == 1.0
+
+    def test_samples_validated(self, relation):
+        with pytest.raises(DataError):
+            skyline_probabilities(relation, samples=0)
+
+    def test_completions_respect_known_cells(self, relation):
+        rng = np.random.default_rng(4)
+        completions = sample_completions(relation, 10, rng)
+        observed = relation.observed
+        known = ~np.isnan(observed)
+        for k in range(10):
+            assert np.allclose(completions[k][known], observed[known])
+            assert not np.isnan(completions[k]).any()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_seed_reproducibility(self, seed):
+        truth = np.random.default_rng(0).random((15, 2))
+        a = skyline_probabilities(
+            IncompleteRelation.mask_random_cells(truth, 0.3, seed=1),
+            samples=30, seed=seed,
+        )
+        b = skyline_probabilities(
+            IncompleteRelation.mask_random_cells(truth, 0.3, seed=1),
+            samples=30, seed=seed,
+        )
+        assert np.array_equal(a, b)
+
+
+class TestSelection:
+    def test_undecided_matrix_excludes_proven_non_dominance(self):
+        observed = np.asarray([[0.9, np.nan], [0.1, 0.2]])
+        undecided = _undecided_pair_matrix(observed)
+        # 0 is strictly worse than 1 on the known attribute: 0 can never
+        # dominate 1, so (0, 1) is decided; (1, 0) remains open.
+        assert not undecided[0, 1]
+        assert undecided[1, 0]
+
+    def test_influence_scores_only_on_missing_cells(self, relation):
+        scores = _influence_scores(relation)
+        observed = relation.observed
+        assert np.all(scores[~np.isnan(observed)] == 0.0)
+
+    def test_select_requires_missing(self, truth):
+        relation = IncompleteRelation(truth, truth)
+        with pytest.raises(DataError):
+            select_cell(relation, SelectionPolicy.RANDOM,
+                        np.random.default_rng(0))
+
+    @pytest.mark.parametrize("policy", list(SelectionPolicy))
+    def test_selected_cell_is_missing(self, relation, policy):
+        cell = select_cell(relation, policy, np.random.default_rng(1))
+        assert np.isnan(relation.observed[cell])
+
+
+class TestLofiSkyline:
+    def test_full_budget_perfect_workers_exact(self, truth):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.3, seed=6)
+        result = lofi_skyline(relation, budget=10_000, worker_sigma=0.0,
+                              seed=7)
+        expected = set(np.nonzero(skyline_mask(truth))[0].astype(int))
+        assert result.skyline == expected
+        assert result.remaining_missing == 0
+
+    def test_budget_respected(self, truth):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.5, seed=6)
+        result = lofi_skyline(relation, budget=7, seed=8)
+        assert result.questions_asked == 7
+        assert len(result.asked_cells) == 7
+
+    def test_zero_budget_pure_probabilistic(self, truth):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.3, seed=6)
+        result = lofi_skyline(relation, budget=0, seed=9)
+        assert result.questions_asked == 0
+        assert result.remaining_missing == relation.num_missing
+
+    def test_negative_budget_rejected(self, relation):
+        with pytest.raises(DataError):
+            lofi_skyline(relation, budget=-1)
+
+    def test_threshold_validated(self, relation):
+        with pytest.raises(DataError):
+            lofi_skyline(relation, budget=1, threshold=0.0)
+
+    @pytest.mark.parametrize("policy", list(SelectionPolicy))
+    def test_all_policies_run(self, truth, policy):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.3, seed=6)
+        result = lofi_skyline(relation, budget=10, policy=policy, seed=10)
+        assert result.questions_asked == 10
+
+    def test_informed_policies_beat_random_on_average(self):
+        """The headline of [12]: smart question selection buys accuracy."""
+        rng = np.random.default_rng(11)
+        wins = {SelectionPolicy.INFLUENCE: 0.0, SelectionPolicy.RANDOM: 0.0}
+        for trial in range(6):
+            truth = rng.random((50, 3))
+            expected = set(np.nonzero(skyline_mask(truth))[0].astype(int))
+            for policy in wins:
+                relation = IncompleteRelation.mask_random_cells(
+                    truth, 0.3, seed=trial
+                )
+                result = lofi_skyline(
+                    relation, budget=15, policy=policy,
+                    worker_sigma=0.0, seed=trial,
+                )
+                correct = len(result.skyline & expected)
+                union = len(result.skyline | expected) or 1
+                wins[policy] += correct / union
+        assert wins[SelectionPolicy.INFLUENCE] >= wins[SelectionPolicy.RANDOM]
+
+    def test_noisy_workers_leave_residual_error_possible(self, truth):
+        relation = IncompleteRelation.mask_random_cells(truth, 0.4, seed=6)
+        result = lofi_skyline(
+            relation, budget=10_000, worker_sigma=0.4, seed=12
+        )
+        # With heavy noise the filled values differ from truth; the
+        # result is a valid set but need not equal the true skyline.
+        assert result.skyline <= set(range(relation.n))

@@ -1,0 +1,137 @@
+"""End-to-end integration tests crossing module boundaries."""
+
+import pytest
+
+from repro.core.baseline import baseline_skyline
+from repro.core.crowdsky import CrowdSkyConfig, crowdsky, crowdsky_budgeted
+from repro.core.parallel import parallel_dset, parallel_sl
+from repro.core.unary import unary_skyline
+from repro.crowd.platform import SimulatedCrowd
+from repro.crowd.voting import DynamicVoting, StaticVoting
+from repro.crowd.workers import DifficultyAwareWorker, WorkerPool
+from repro.data.mlb import PAPER_Q3_SKYLINE, mlb_dataset
+from repro.data.movies import PAPER_Q2_SKYLINE, movies_dataset
+from repro.data.rectangles import rectangles_dataset
+from repro.metrics.accuracy import ground_truth_skyline, precision_recall
+from repro.query.executor import execute_query
+from repro.skyline.dominance import dominance_matrix
+from repro.skyline.dominating import FrequencyOracle
+
+ALL_ALGORITHMS = [crowdsky, parallel_dset, parallel_sl, baseline_skyline,
+                  unary_skyline]
+
+
+class TestRealDatasetsAcrossAlgorithms:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_movies_perfect_crowd(self, algorithm):
+        relation = movies_dataset()
+        result = algorithm(relation)
+        assert result.skyline_labels(relation) == PAPER_Q2_SKYLINE
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_mlb_perfect_crowd(self, algorithm):
+        relation = mlb_dataset()
+        result = algorithm(relation)
+        assert result.skyline_labels(relation) == PAPER_Q3_SKYLINE
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_rectangles_perfect_crowd(self, algorithm):
+        relation = rectangles_dataset()
+        result = algorithm(relation)
+        assert result.skyline == ground_truth_skyline(relation)
+
+
+class TestQueryLanguagePipelines:
+    def test_movie_query_with_noisy_masters_crowd(self):
+        relation = movies_dataset()
+
+        def crowd_factory(filtered):
+            return SimulatedCrowd(
+                filtered,
+                pool=WorkerPool.uniform(accuracy=0.97),
+                voting=StaticVoting(5),
+                seed=4,
+            )
+
+        result = execute_query(
+            "SELECT * FROM movies WHERE release_year >= 2000 "
+            "SKYLINE OF box_office MAX, release_year MAX, rating MAX",
+            {"movies": relation},
+            crowd_factory=crowd_factory,
+        )
+        report_labels = result.labels(relation)
+        # High-accuracy Masters reproduce the paper's skyline.
+        assert report_labels == PAPER_Q2_SKYLINE
+        assert result.stats.hit_cost() > 0
+
+    def test_query_where_narrows_crowd_work(self):
+        relation = movies_dataset()
+        narrow = execute_query(
+            "SELECT * FROM m WHERE release_year >= 2011 "
+            "SKYLINE OF box_office MAX, rating MAX",
+            relation,
+        )
+        wide = execute_query(
+            "SELECT * FROM m SKYLINE OF box_office MAX, rating MAX",
+            relation,
+        )
+        assert narrow.stats.questions <= wide.stats.questions
+
+    def test_query_with_parallel_scheduler_and_dynamic_voting(self):
+        relation = movies_dataset()
+
+        def crowd_factory(filtered):
+            frequency = FrequencyOracle(
+                dominance_matrix(filtered.known_matrix())
+            )
+            return SimulatedCrowd(
+                filtered,
+                pool=WorkerPool.uniform(accuracy=0.95),
+                voting=DynamicVoting.from_frequency(frequency),
+                seed=9,
+            )
+
+        result = execute_query(
+            "SELECT * FROM m SKYLINE OF box_office MAX, release_year MAX, "
+            "rating MAX",
+            relation,
+            crowd_factory=crowd_factory,
+            algorithm=parallel_sl,
+        )
+        assert result.used_crowd
+        # Two known attributes leave room for parallel rounds (a single
+        # known attribute would make AK a chain and ParallelSL serial).
+        assert result.stats.rounds < result.stats.questions
+
+
+class TestDifficultyAwarePipeline:
+    def test_rectangles_with_difficulty_aware_workers(self):
+        relation = rectangles_dataset()
+        pool = WorkerPool([DifficultyAwareWorker(easiness_scale=0.02)] * 30)
+        crowd = SimulatedCrowd(
+            relation, pool=pool, voting=StaticVoting(5), seed=3
+        )
+        result = crowdsky(relation, crowd=crowd)
+        report = precision_recall(result.skyline, relation)
+        assert report.recall >= 0.75
+
+
+class TestBudgetWithNoise:
+    def test_budgeted_noisy_run_terminates_within_budget(self):
+        relation = movies_dataset()
+        crowd = SimulatedCrowd(
+            relation,
+            pool=WorkerPool.uniform(accuracy=0.8),
+            voting=StaticVoting(3),
+            seed=6,
+        )
+        result = crowdsky_budgeted(relation, 25, crowd=crowd)
+        assert result.stats.questions <= 25
+        assert result.skyline  # never empty
+
+    def test_multiway_budgeted_combination(self):
+        relation = mlb_dataset()
+        result = crowdsky_budgeted(
+            relation, 20, config=CrowdSkyConfig(multiway=4)
+        )
+        assert result.stats.questions <= 20

@@ -1,0 +1,109 @@
+"""Tests for the latency model, ASCII charts and new CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.core.baseline import baseline_skyline
+from repro.core.parallel import parallel_sl
+from repro.crowd.latency import (
+    DEFAULT_ROUND_OVERHEAD,
+    SECONDS_PER_HIT_Q1,
+    SECONDS_PER_HIT_Q3,
+    LatencyEstimate,
+    estimate_latency,
+)
+from repro.crowd.platform import CrowdStats
+from repro.data.rectangles import rectangles_dataset
+from repro.experiments.cli import main
+from repro.experiments.plots import ascii_chart, chart_for_experiment
+from repro.experiments.registry import run_experiment
+
+
+class TestLatencyModel:
+    def test_estimate_scales_with_rounds(self):
+        stats = CrowdStats()
+        for _ in range(10):
+            stats.record_round(3, 15)
+        estimate = estimate_latency(stats, seconds_per_hit=22.0)
+        assert estimate.rounds == 10
+        assert estimate.seconds == 10 * (22.0 + DEFAULT_ROUND_OVERHEAD)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_latency(CrowdStats(), seconds_per_hit=-1.0)
+
+    def test_hours_property(self):
+        estimate = LatencyEstimate(rounds=1, seconds=7200.0)
+        assert estimate.hours == 2.0
+
+    def test_string_formats(self):
+        assert str(LatencyEstimate(1, 45.0)) == "45s"
+        assert "min" in str(LatencyEstimate(1, 600.0))
+        assert "h" in str(LatencyEstimate(1, 30000.0))
+
+    def test_parallel_sl_latency_dwarfs_baseline(self):
+        """§6.2's practical payoff: hours vs minutes on Q1."""
+        slow = baseline_skyline(rectangles_dataset())
+        fast = parallel_sl(rectangles_dataset())
+        slow_estimate = estimate_latency(slow.stats, SECONDS_PER_HIT_Q1)
+        fast_estimate = estimate_latency(fast.stats, SECONDS_PER_HIT_Q1)
+        assert fast_estimate.seconds < slow_estimate.seconds / 4
+
+    def test_q3_constant_largest(self):
+        assert SECONDS_PER_HIT_Q3 > SECONDS_PER_HIT_Q1
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        rows = [{"n": 1, "a": 10, "b": 100}, {"n": 2, "a": 20, "b": 50}]
+        chart = ascii_chart(rows, "n", ["a", "b"])
+        assert "o a" in chart and "x b" in chart
+        assert "n: 1 .. 2" in chart
+
+    def test_log_scale_label(self):
+        rows = [{"n": 1, "a": 10}, {"n": 2, "a": 10000}]
+        chart = ascii_chart(rows, "n", ["a"], log_y=True)
+        assert "[log y]" in chart
+        assert "10,000" in chart
+
+    def test_empty_data(self):
+        assert "no numeric data" in ascii_chart([], "n", ["a"])
+
+    def test_constant_series(self):
+        rows = [{"n": 1, "a": 5}, {"n": 2, "a": 5}]
+        chart = ascii_chart(rows, "n", ["a"])
+        assert "o" in chart
+
+    def test_chart_for_experiment_rounds_uses_log(self):
+        result = run_experiment("fig8", scale="smoke")
+        chart = chart_for_experiment(result)
+        assert "[log y]" in chart
+        assert "ParallelSL" in chart
+
+    def test_chart_for_accuracy_linear(self):
+        result = run_experiment("fig10", scale="smoke")
+        chart = chart_for_experiment(result)
+        assert "[log y]" not in chart
+
+
+class TestCliAdditions:
+    def test_plot_subcommand(self, capsys):
+        assert main(["plot", "fig8", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "|" in out
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):])
+        assert payload[0]["id"] == "table1"
+        assert payload[0]["rows"]
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(
+            ["run", "table2", "--scale", "smoke", "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload[0]["id"] == "table2"

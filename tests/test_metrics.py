@@ -1,0 +1,88 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    ak_skyline,
+    ground_truth_skyline,
+    precision_recall,
+)
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def relation():
+    """AK skyline = {0}; full skyline = {0, 1, 2}.
+
+    Tuples 1, 2 are AK-dominated by 0 but resurface via the crowd
+    attribute; tuple 3 is dominated everywhere.
+    """
+    return make_relation(
+        [(1, 1), (2, 2), (3, 3), (4, 4)],
+        [(4,), (2,), (1,), (5,)],
+    )
+
+
+class TestGroundTruth:
+    def test_ak_skyline(self, relation):
+        assert ak_skyline(relation) == {0}
+
+    def test_full_skyline(self, relation):
+        assert ground_truth_skyline(relation) == {0, 1, 2}
+
+
+class TestPrecisionRecall:
+    def test_perfect_prediction(self, relation):
+        report = precision_recall({0, 1, 2}, relation)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_false_positive_lowers_precision(self, relation):
+        report = precision_recall({0, 1, 2, 3}, relation)
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == 1.0
+
+    def test_false_negative_lowers_recall(self, relation):
+        report = precision_recall({0, 1}, relation)
+        assert report.precision == 1.0
+        assert report.recall == pytest.approx(1 / 2)
+
+    def test_ak_skyline_not_counted(self, relation):
+        """Only newly retrieved tuples matter (the paper's convention)."""
+        report = precision_recall({0}, relation)
+        assert report.predicted_new == 0
+        assert report.precision == 1.0  # claimed nothing new
+        assert report.recall == 0.0     # found nothing new
+
+    def test_empty_truth_and_prediction(self):
+        relation = make_relation(
+            [(1, 1), (2, 2)],
+            [(1,), (2,)],
+        )
+        # Tuple 1 dominated in AK and AC: truth_new is empty.
+        report = precision_recall({0}, relation)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_empty_truth_with_false_positive(self):
+        relation = make_relation(
+            [(1, 1), (2, 2)],
+            [(1,), (2,)],
+        )
+        report = precision_recall({0, 1}, relation)
+        assert report.precision == 0.0
+        assert report.recall == 1.0
+
+    def test_f1_zero_when_both_zero(self):
+        report = AccuracyReport(
+            precision=0.0, recall=0.0, predicted_new=1, truth_new=1
+        )
+        assert report.f1 == 0.0
+
+    def test_f1_harmonic_mean(self):
+        report = AccuracyReport(
+            precision=0.5, recall=1.0, predicted_new=2, truth_new=1
+        )
+        assert report.f1 == pytest.approx(2 / 3)

@@ -1,0 +1,216 @@
+"""Tests for the SKYLINE-OF query language (lexer, parser, executor)."""
+
+import pytest
+
+from repro.core.parallel import parallel_sl
+from repro.data.movies import PAPER_Q2_SKYLINE, movies_dataset
+from repro.data.relation import Direction
+from repro.exceptions import QuerySemanticError, QuerySyntaxError
+from repro.query.ast import Comparison
+from repro.query.executor import execute_query
+from repro.query.lexer import TokenType, tokenize
+from repro.query.parser import parse_query
+from tests.conftest import make_relation
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from t skyline of a max")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keywords == ["SELECT", "FROM", "SKYLINE", "OF", "MAX"]
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize("x >= 20.5")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENTIFIER,
+            TokenType.OPERATOR,
+            TokenType.NUMBER,
+        ]
+        assert tokens[1].value == ">="
+
+    def test_strings(self):
+        tokens = tokenize("label = 'Avatar'")
+        assert tokens[2].type is TokenType.STRING
+        assert tokens[2].value == "Avatar"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("label = 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a ; b")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_negative_number(self):
+        tokens = tokenize("x > -3.5")
+        assert tokens[2].value == "-3.5"
+
+
+class TestParser:
+    def test_full_query(self):
+        query = parse_query(
+            "SELECT * FROM movie_db WHERE year >= 2010 AND year <= 2015 "
+            "SKYLINE OF box_office MAX, romantic MAX"
+        )
+        assert query.table == "movie_db"
+        assert len(query.where.conditions) == 2
+        assert query.where.conditions[0].op is Comparison.GE
+        assert [s.attribute for s in query.skyline] == [
+            "box_office",
+            "romantic",
+        ]
+        assert all(s.direction is Direction.MAX for s in query.skyline)
+
+    def test_projection_list(self):
+        query = parse_query("SELECT a, b FROM t")
+        assert query.projection == ("a", "b")
+
+    def test_min_direction(self):
+        query = parse_query("SELECT * FROM t SKYLINE OF price MIN")
+        assert query.skyline[0].direction is Direction.MIN
+
+    def test_with_crowd_hint(self):
+        query = parse_query("SELECT * FROM t SKYLINE OF a MIN WITH CROWD")
+        assert query.crowd_hint
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t SKYLINE OF a")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT *")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t extra")
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t WHERE a = =")
+
+    def test_string_literal_condition(self):
+        query = parse_query("SELECT * FROM t WHERE label = 'Avatar'")
+        assert query.where.conditions[0].literal == "Avatar"
+
+
+class TestExecutor:
+    @pytest.fixture
+    def relation(self):
+        # known: price (MIN), year (MAX); crowd: quality (MAX).
+        return make_relation(
+            [(10, 2010), (20, 2012), (30, 2008), (15, 2012)],
+            [(3,), (1,), (2,), (4,)],
+            directions=[
+                Direction.MIN,
+                Direction.MAX,
+                Direction.MAX,
+            ],
+        )
+
+    def test_where_filtering(self, relation):
+        result = execute_query(
+            "SELECT * FROM t WHERE A2 >= 2010", relation
+        )
+        assert result.indices == [0, 1, 3]
+
+    def test_machine_skyline_when_known_only(self, relation):
+        result = execute_query(
+            "SELECT * FROM t SKYLINE OF A1 MIN, A2 MAX", relation
+        )
+        assert not result.used_crowd
+        # Tuple 1 (20, 2012) is dominated by tuple 3 (15, 2012).
+        assert set(result.indices) == {0, 3}
+
+    def test_crowd_skyline(self, relation):
+        result = execute_query(
+            "SELECT * FROM t SKYLINE OF A1 MIN, C1 MAX", relation
+        )
+        assert result.used_crowd
+        assert result.stats is not None
+        # quality: t1 best (latent MAX 4 -> index 3); price: index 0 best.
+        assert set(result.indices) == {0, 3}
+
+    def test_movie_example_matches_paper(self):
+        relation = movies_dataset()
+        result = execute_query(
+            "SELECT * FROM movie_db WHERE release_year >= 2000 "
+            "SKYLINE OF box_office MAX, release_year MAX, rating MAX",
+            {"movie_db": relation},
+        )
+        assert result.labels(relation) == PAPER_Q2_SKYLINE
+
+    def test_alternative_algorithm(self, relation):
+        result = execute_query(
+            "SELECT * FROM t SKYLINE OF A1 MIN, C1 MAX",
+            relation,
+            algorithm=parallel_sl,
+        )
+        assert set(result.indices) == {0, 3}
+        assert "ParallelSL" in result.algorithm
+
+    def test_unknown_table(self, relation):
+        with pytest.raises(QuerySemanticError):
+            execute_query("SELECT * FROM nope", {"t": relation})
+
+    def test_where_on_crowd_attribute_rejected(self, relation):
+        with pytest.raises(QuerySemanticError):
+            execute_query("SELECT * FROM t WHERE C1 >= 1", relation)
+
+    def test_unknown_projection_rejected(self, relation):
+        with pytest.raises(QuerySemanticError):
+            execute_query("SELECT nope FROM t", relation)
+
+    def test_label_condition(self):
+        relation = movies_dataset()
+        result = execute_query(
+            "SELECT * FROM t WHERE label = 'Avatar'", relation
+        )
+        assert len(result.indices) == 1
+        assert relation.label(result.indices[0]) == "Avatar"
+
+    def test_label_condition_inequality(self):
+        relation = movies_dataset()
+        result = execute_query(
+            "SELECT * FROM t WHERE label != 'Avatar'", relation
+        )
+        assert len(result.indices) == len(relation) - 1
+
+    def test_label_condition_bad_operator(self):
+        relation = movies_dataset()
+        with pytest.raises(QuerySemanticError):
+            execute_query("SELECT * FROM t WHERE label >= 'A'", relation)
+
+    def test_rows_projection(self, relation):
+        result = execute_query(
+            "SELECT A1 FROM t WHERE A2 >= 2012", relation
+        )
+        assert result.rows == [{"A1": 20.0}, {"A1": 15.0}]
+
+    def test_star_projection_includes_label(self, relation):
+        result = execute_query("SELECT * FROM t WHERE A1 <= 10", relation)
+        assert "label" in result.rows[0]
+
+    def test_no_skyline_clause_returns_filter(self, relation):
+        result = execute_query("SELECT * FROM t", relation)
+        assert result.indices == [0, 1, 2, 3]
+        assert not result.used_crowd
+
+    def test_crowd_hint_forces_crowd(self, relation):
+        result = execute_query(
+            "SELECT * FROM t SKYLINE OF A1 MIN, A2 MAX WITH CROWD",
+            relation,
+        )
+        # The last attribute (A2) is crowdsourced from its stored values;
+        # a perfect crowd reproduces the machine skyline.
+        assert result.used_crowd is True
+        assert set(result.indices) == {0, 3}
+
+    def test_crowd_hint_single_known_attribute_rejected(self, relation):
+        with pytest.raises(QuerySemanticError):
+            execute_query(
+                "SELECT * FROM t SKYLINE OF A1 MIN WITH CROWD", relation
+            )

@@ -1,0 +1,105 @@
+"""Property-based tests for the query language (round-trip + fuzzing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Direction
+from repro.exceptions import QueryError
+from repro.query.ast import Comparison
+from repro.query.lexer import tokenize
+from repro.query.parser import parse_query
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "FROM", "WHERE", "AND", "SKYLINE", "OF", "MIN", "MAX",
+        "WITH", "CROWD",
+    }
+)
+numbers = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda value: round(value, 3))
+operators = st.sampled_from(list(Comparison))
+directions = st.sampled_from([Direction.MIN, Direction.MAX])
+
+
+@st.composite
+def queries(draw):
+    """Generate a random well-formed query and its expected structure."""
+    table = draw(identifiers)
+    conditions = draw(
+        st.lists(st.tuples(identifiers, operators, numbers), max_size=3)
+    )
+    skyline = draw(
+        st.lists(st.tuples(identifiers, directions), max_size=3)
+    )
+    crowd_hint = draw(st.booleans()) and bool(skyline)
+
+    text = f"SELECT * FROM {table}"
+    if conditions:
+        text += " WHERE " + " AND ".join(
+            f"{name} {op.value} {value}" for name, op, value in conditions
+        )
+    if skyline:
+        text += " SKYLINE OF " + ", ".join(
+            f"{name} {direction.value.upper()}"
+            for name, direction in skyline
+        )
+        if crowd_hint:
+            text += " WITH CROWD"
+    return text, table, conditions, skyline, crowd_hint
+
+
+class TestQueryRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(queries())
+    def test_generated_queries_parse_to_their_structure(self, generated):
+        text, table, conditions, skyline, crowd_hint = generated
+        query = parse_query(text)
+        assert query.table == table
+        assert len(query.where.conditions) == len(conditions)
+        for parsed, (name, op, value) in zip(
+            query.where.conditions, conditions
+        ):
+            assert parsed.attribute == name
+            assert parsed.op is op
+            assert parsed.literal == pytest.approx(value)
+        assert [s.attribute for s in query.skyline] == [
+            name for name, _ in skyline
+        ]
+        assert [s.direction for s in query.skyline] == [
+            direction for _, direction in skyline
+        ]
+        assert query.crowd_hint == crowd_hint
+
+    @settings(max_examples=100, deadline=None)
+    @given(queries())
+    def test_tokenization_is_lossless_for_identifiers(self, generated):
+        text, table, *_ = generated
+        values = [token.value for token in tokenize(text)]
+        assert table in values
+
+
+class TestQueryFuzzing:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """Garbage input raises QueryError (or parses) — never anything
+        else."""
+        try:
+            parse_query(text)
+        except QueryError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.text(
+            alphabet="SELCTFROMWHND*<>=.,'\" abc123_",
+            max_size=80,
+        )
+    )
+    def test_sql_flavoured_garbage(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass

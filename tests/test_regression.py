@@ -1,0 +1,54 @@
+"""Pipeline regression: smoke-scale experiments against stored fixtures.
+
+Every experiment is fully seeded, so its smoke-scale output is
+deterministic bit for bit. The fixture pins the *entire* pipeline —
+generators, crowd simulation, algorithms, metrics, report rows — against
+accidental behaviour drift. If a change intentionally shifts results,
+regenerate with::
+
+    python -m repro.experiments run all --scale smoke \
+        --json tests/fixtures/smoke_expected.json
+
+and explain the shift in the commit (see CONTRIBUTING.md).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+FIXTURE = Path(__file__).parent / "fixtures" / "smoke_expected.json"
+
+with FIXTURE.open() as handle:
+    _EXPECTED = {entry["id"]: entry for entry in json.load(handle)}
+
+
+def _approx_equal(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return a == pytest.approx(b, rel=1e-9, abs=1e-12)
+    return a == b
+
+
+@pytest.mark.parametrize("experiment_id", sorted(_EXPECTED))
+def test_smoke_output_matches_fixture(experiment_id):
+    expected = _EXPECTED[experiment_id]
+    result = run_experiment(experiment_id, scale="smoke")
+    assert list(result.columns) == expected["columns"]
+    assert len(result.rows) == len(expected["rows"])
+    for produced, stored in zip(result.rows, expected["rows"]):
+        assert set(produced) == set(stored)
+        for key in stored:
+            assert _approx_equal(produced[key], stored[key]), (
+                experiment_id,
+                key,
+                produced[key],
+                stored[key],
+            )
+
+
+def test_fixture_covers_every_registered_experiment():
+    from repro.experiments.registry import available_experiments
+
+    assert set(_EXPECTED) == set(available_experiments())

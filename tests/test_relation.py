@@ -1,0 +1,172 @@
+"""Unit tests for the relation model (schema, tuples, canonicalization)."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    Direction,
+    Relation,
+    Schema,
+    Tuple,
+)
+from repro.exceptions import DataError, SchemaError, UnknownAttributeError
+
+
+class TestAttribute:
+    def test_defaults_known_min(self):
+        attr = Attribute("price")
+        assert attr.is_known
+        assert not attr.is_crowd
+        assert attr.direction is Direction.MIN
+
+    def test_crowd_attribute(self):
+        attr = Attribute("romantic", AttributeKind.CROWD, Direction.MAX)
+        assert attr.is_crowd
+        assert not attr.is_known
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_frozen(self):
+        attr = Attribute("x")
+        with pytest.raises(AttributeError):
+            attr.name = "y"
+
+
+class TestSchema:
+    def test_simple_builder(self):
+        schema = Schema.simple(3, 2)
+        assert schema.num_known == 3
+        assert schema.num_crowd == 2
+        assert [a.name for a in schema.known_attributes] == ["A1", "A2", "A3"]
+        assert [a.name for a in schema.crowd_attributes] == ["C1", "C2"]
+
+    def test_simple_rejects_negative(self):
+        with pytest.raises(SchemaError):
+            Schema.simple(-1, 0)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("x"), Attribute("x")])
+
+    def test_attribute_lookup(self):
+        schema = Schema.simple(2, 1)
+        assert schema.attribute("A2").name == "A2"
+        with pytest.raises(UnknownAttributeError):
+            schema.attribute("missing")
+
+    def test_contains_len_iter(self):
+        schema = Schema.simple(2, 1)
+        assert "A1" in schema
+        assert "nope" not in schema
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["A1", "A2", "C1"]
+
+    def test_equality_and_hash(self):
+        assert Schema.simple(2, 1) == Schema.simple(2, 1)
+        assert Schema.simple(2, 1) != Schema.simple(1, 2)
+        assert hash(Schema.simple(2, 0)) == hash(Schema.simple(2, 0))
+
+    def test_repr_mentions_partitions(self):
+        text = repr(Schema.simple(1, 1))
+        assert "AK" in text and "AC" in text
+
+
+class TestTuple:
+    def test_values_coerced_to_float(self):
+        row = Tuple(known=(1, 2), latent=(3,))
+        assert row.known == (1.0, 2.0)
+        assert row.latent == (3.0,)
+
+    def test_label_in_repr(self):
+        assert "movie" in repr(Tuple(known=(1,), label="movie"))
+
+    def test_default_latent_empty(self):
+        assert Tuple(known=(1,)).latent == ()
+
+
+class TestRelation:
+    def _schema(self):
+        return Schema(
+            [
+                Attribute("a", AttributeKind.KNOWN, Direction.MIN),
+                Attribute("b", AttributeKind.KNOWN, Direction.MAX),
+                Attribute("c", AttributeKind.CROWD, Direction.MAX),
+            ]
+        )
+
+    def test_arity_checked(self):
+        with pytest.raises(DataError):
+            Relation(self._schema(), [Tuple(known=(1,), latent=(1,))])
+
+    def test_latent_arity_checked(self):
+        with pytest.raises(DataError):
+            Relation(self._schema(), [Tuple(known=(1, 2), latent=(1, 2))])
+
+    def test_known_matrix_negates_max_attributes(self):
+        relation = Relation(
+            self._schema(), [Tuple(known=(1, 2), latent=(3,))]
+        )
+        matrix = relation.known_matrix()
+        assert matrix.shape == (1, 2)
+        assert matrix[0, 0] == 1.0
+        assert matrix[0, 1] == -2.0  # MAX canonicalized by negation
+
+    def test_latent_matrix_negates_max_attributes(self):
+        relation = Relation(
+            self._schema(), [Tuple(known=(1, 2), latent=(3,))]
+        )
+        assert relation.latent_matrix()[0, 0] == -3.0
+
+    def test_latent_matrix_requires_latents(self):
+        relation = Relation(self._schema(), [Tuple(known=(1, 2))])
+        with pytest.raises(DataError):
+            relation.latent_matrix()
+
+    def test_labels_and_index_of(self):
+        relation = Relation(
+            self._schema(),
+            [
+                Tuple(known=(1, 2), latent=(1,), label="x"),
+                Tuple(known=(3, 4), latent=(2,)),
+            ],
+        )
+        assert relation.label(0) == "x"
+        assert relation.label(1) == "t1"
+        assert relation.index_of("x") == 0
+        with pytest.raises(DataError):
+            relation.index_of("missing")
+
+    def test_subset_reindexes(self):
+        relation = Relation(
+            self._schema(),
+            [
+                Tuple(known=(i, i), latent=(i,), label=f"r{i}")
+                for i in range(5)
+            ],
+        )
+        sub = relation.subset([3, 1])
+        assert len(sub) == 2
+        assert sub.label(0) == "r3"
+        assert sub.label(1) == "r1"
+
+    def test_iteration_and_getitem(self):
+        relation = Relation(
+            self._schema(), [Tuple(known=(1, 2), latent=(3,))]
+        )
+        assert list(relation)[0] is relation[0]
+
+    def test_known_matrix_cached(self, toy):
+        assert toy.known_matrix() is toy.known_matrix()
+
+    def test_matrix_values_match_tuples(self, toy):
+        matrix = toy.known_matrix()
+        for i, row in enumerate(toy):
+            assert tuple(matrix[i]) == row.known  # all-MIN toy schema

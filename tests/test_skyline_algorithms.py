@@ -1,0 +1,104 @@
+"""Tests for the three machine skyline algorithms (BNL, SFS, D&C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.bskytree import bskytree_skyline
+from repro.skyline.dnc import dnc_skyline
+from repro.skyline.dominance import dominates
+from repro.skyline.sfs import sfs_skyline
+
+ALGORITHMS = [bnl_skyline, sfs_skyline, dnc_skyline, bskytree_skyline]
+
+matrices = arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=4),
+    ),
+    elements=st.floats(min_value=0.0, max_value=1.0, width=32),
+)
+
+
+def brute_force(data):
+    n = data.shape[0]
+    return sorted(
+        t
+        for t in range(n)
+        if not any(s != t and dominates(data[s], data[t]) for s in range(n))
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestAlgorithmContract:
+    def test_empty_subset(self, algorithm):
+        data = np.random.default_rng(0).random((5, 2))
+        assert algorithm(data, indices=[]) == []
+
+    def test_single_tuple(self, algorithm):
+        assert algorithm(np.asarray([[0.5, 0.5]])) == [0]
+
+    def test_matches_brute_force(self, algorithm):
+        data = np.random.default_rng(1).random((80, 3))
+        assert algorithm(data) == brute_force(data)
+
+    def test_restricted_indices(self, algorithm):
+        data = np.asarray(
+            [[0.1, 0.9], [0.9, 0.1], [0.5, 0.5], [0.05, 0.05]]
+        )
+        # Tuple 3 dominates everything but is excluded from the subset.
+        assert algorithm(data, indices=[0, 1, 2]) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self, algorithm):
+        data = np.asarray([[0.2, 0.2], [0.2, 0.2], [0.9, 0.9]])
+        assert algorithm(data) == [0, 1]
+
+    def test_total_order_chain(self, algorithm):
+        data = np.asarray([[float(i)] * 2 for i in range(10)])
+        assert algorithm(data) == [0]
+
+    def test_all_incomparable(self, algorithm):
+        data = np.asarray([[float(i), float(9 - i)] for i in range(10)])
+        assert algorithm(data) == list(range(10))
+
+
+class TestCrossAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(matrices)
+    def test_all_algorithms_agree(self, data):
+        results = [algorithm(data) for algorithm in ALGORITHMS]
+        assert all(result == results[0] for result in results)
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices)
+    def test_skyline_tuples_not_dominated(self, data):
+        skyline = bnl_skyline(data)
+        for t in skyline:
+            assert not any(
+                s != t and dominates(data[s], data[t])
+                for s in range(data.shape[0])
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices)
+    def test_non_skyline_tuples_dominated(self, data):
+        skyline = set(bnl_skyline(data))
+        for t in range(data.shape[0]):
+            if t not in skyline:
+                assert any(
+                    dominates(data[s], data[t]) for s in skyline
+                ), "every non-skyline tuple must be dominated by a skyline tuple"
+
+    def test_dnc_handles_constant_first_attribute(self):
+        data = np.zeros((100, 2))
+        data[:, 1] = np.arange(100)
+        assert dnc_skyline(data) == [0]
+
+    def test_toy_dataset_skyline(self, toy):
+        skyline = bnl_skyline(toy.known_matrix())
+        labels = {toy.label(i) for i in skyline}
+        assert labels == {"b", "e", "i", "l"}

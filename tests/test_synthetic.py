@@ -1,0 +1,131 @@
+"""Tests for the synthetic data generators (IND / ANT / COR)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.exceptions import DataError
+
+
+class TestDistributionParse:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("IND", Distribution.INDEPENDENT),
+            ("ant", Distribution.ANTI_CORRELATED),
+            ("Cor", Distribution.CORRELATED),
+            ("INDEPENDENT", Distribution.INDEPENDENT),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Distribution.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(DataError):
+            Distribution.parse("zipf")
+
+
+class TestGenerateSynthetic:
+    @pytest.mark.parametrize("distribution", list(Distribution))
+    def test_shapes(self, distribution):
+        relation = generate_synthetic(30, 3, 2, distribution, seed=0)
+        assert len(relation) == 30
+        assert relation.known_matrix().shape == (30, 3)
+        assert relation.latent_matrix().shape == (30, 2)
+
+    @pytest.mark.parametrize("distribution", list(Distribution))
+    def test_values_in_unit_interval(self, distribution):
+        relation = generate_synthetic(200, 4, 1, distribution, seed=1)
+        matrix = relation.known_matrix()
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    def test_seed_reproducibility(self):
+        a = generate_synthetic(50, 3, 1, Distribution.INDEPENDENT, seed=5)
+        b = generate_synthetic(50, 3, 1, Distribution.INDEPENDENT, seed=5)
+        assert np.array_equal(a.known_matrix(), b.known_matrix())
+        assert np.array_equal(a.latent_matrix(), b.latent_matrix())
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(50, 3, 1, Distribution.INDEPENDENT, seed=5)
+        b = generate_synthetic(50, 3, 1, Distribution.INDEPENDENT, seed=6)
+        assert not np.array_equal(a.known_matrix(), b.known_matrix())
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            generate_synthetic(
+                10, 2, 1, Distribution.INDEPENDENT, seed=1, rng=rng
+            )
+
+    def test_explicit_rng(self):
+        rng = np.random.default_rng(9)
+        relation = generate_synthetic(
+            10, 2, 1, Distribution.INDEPENDENT, rng=rng
+        )
+        assert len(relation) == 10
+
+    @pytest.mark.parametrize(
+        "n, k, m",
+        [(0, 2, 1), (10, 0, 1), (10, 2, -1)],
+    )
+    def test_invalid_parameters(self, n, k, m):
+        with pytest.raises(DataError):
+            generate_synthetic(n, k, m, Distribution.INDEPENDENT, seed=0)
+
+    def test_zero_crowd_attributes_allowed(self):
+        relation = generate_synthetic(
+            10, 2, 0, Distribution.INDEPENDENT, seed=0
+        )
+        assert relation.schema.num_crowd == 0
+
+    def test_anti_correlated_rows_sum_to_plane(self):
+        """ANT rows preserve the plane sum — the defining property."""
+        relation = generate_synthetic(
+            500, 4, 0, Distribution.ANTI_CORRELATED, seed=3
+        )
+        sums = relation.known_matrix().sum(axis=1)
+        # Each row's sum equals d * v with v ~ N(0.5, 0.083): tight spread.
+        assert abs(float(np.mean(sums)) - 2.0) < 0.1
+        assert float(np.std(sums)) < 0.5
+
+    def test_anti_correlated_negative_pairwise_correlation(self):
+        relation = generate_synthetic(
+            2000, 2, 0, Distribution.ANTI_CORRELATED, seed=4
+        )
+        matrix = relation.known_matrix()
+        corr = float(np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1])
+        assert corr < -0.3
+
+    def test_correlated_positive_pairwise_correlation(self):
+        relation = generate_synthetic(
+            2000, 2, 0, Distribution.CORRELATED, seed=4
+        )
+        matrix = relation.known_matrix()
+        corr = float(np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1])
+        assert corr > 0.3
+
+    def test_independent_near_zero_correlation(self):
+        relation = generate_synthetic(
+            2000, 2, 0, Distribution.INDEPENDENT, seed=4
+        )
+        matrix = relation.known_matrix()
+        corr = float(np.corrcoef(matrix[:, 0], matrix[:, 1])[0, 1])
+        assert abs(corr) < 0.1
+
+    def test_anti_correlated_has_larger_skyline(self):
+        """The motivating fact of §3.4: ANT skylines are much larger."""
+        from repro.skyline.bnl import bnl_skyline
+
+        ind = generate_synthetic(400, 2, 0, Distribution.INDEPENDENT, seed=8)
+        ant = generate_synthetic(
+            400, 2, 0, Distribution.ANTI_CORRELATED, seed=8
+        )
+        assert len(bnl_skyline(ant.known_matrix())) > len(
+            bnl_skyline(ind.known_matrix())
+        )
+
+    def test_single_dimension_ant_falls_back(self):
+        relation = generate_synthetic(
+            20, 1, 0, Distribution.ANTI_CORRELATED, seed=2
+        )
+        assert relation.known_matrix().shape == (20, 1)
