@@ -1,12 +1,19 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test bench bench-ci experiments experiments-paper examples lint-clean
+.PHONY: install test test-robustness bench bench-ci experiments experiments-paper examples lint-clean
+
+# Seeds swept by the fault-injection suite (space-separated, override
+# with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
+REPRO_FAULT_SEEDS ?= 0 1 2 7 42
 
 install:
 	pip install -e '.[dev]'
 
 test:
 	pytest tests/
+
+test-robustness:
+	REPRO_FAULT_SEEDS="$(REPRO_FAULT_SEEDS)" pytest tests/test_faults.py -m faults -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

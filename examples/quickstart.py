@@ -12,6 +12,9 @@ Run with::
 
 from repro import (
     Distribution,
+    FaultPlan,
+    RetryPolicy,
+    SimulatedCrowd,
     baseline_skyline,
     crowdsky,
     generate_synthetic,
@@ -58,6 +61,26 @@ def main() -> None:
         "\nWith a perfect crowd every algorithm is exact; CrowdSky asks a "
         "fraction of the Baseline's questions, and ParallelSL needs only "
         "a few dozen rounds."
+    )
+
+    # Fault tolerance: the same run with an unreliable platform — 20% of
+    # assignments abandoned, 10% of HITs expiring — survives via retries
+    # and degrades gracefully when a question exhausts its attempts.
+    print("\nfault-tolerant run (abandonment 0.2, HIT expiry 0.1):")
+    data = generate_synthetic(500, 4, 1, Distribution.INDEPENDENT, seed=0)
+    crowd = SimulatedCrowd(
+        data,
+        seed=0,
+        faults=FaultPlan(abandonment_rate=0.2, hit_timeout_rate=0.1, seed=1),
+        retry=RetryPolicy(max_attempts=3),
+    )
+    result = parallel_sl(data, crowd)
+    print(result.summary())
+    if result.fault_stats is not None:
+        print(f"injected faults: {result.fault_stats.as_dict()}")
+    print(
+        "unresolved pairs are kept conservatively incomparable, so the "
+        "degraded skyline never drops a true skyline tuple."
     )
 
 

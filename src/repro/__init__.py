@@ -31,6 +31,7 @@ from repro.core.parallel import parallel_dset, parallel_sl
 from repro.core.preference import ContradictionPolicy, PreferenceSystem
 from repro.core.result import CrowdSkylineResult
 from repro.core.unary import unary_skyline
+from repro.crowd.faults import FaultPlan, FaultStats
 from repro.crowd.platform import CrowdStats, SimulatedCrowd
 from repro.crowd.questions import (
     MultiwayQuestion,
@@ -38,6 +39,7 @@ from repro.crowd.questions import (
     Preference,
     UnaryQuestion,
 )
+from repro.crowd.retry import RetryPolicy
 from repro.crowd.voting import DynamicVoting, StaticVoting
 from repro.crowd.workers import (
     BernoulliWorker,
@@ -56,7 +58,13 @@ from repro.data.relation import (
     Tuple,
 )
 from repro.data.synthetic import Distribution, generate_synthetic
-from repro.exceptions import CrowdSkyError
+from repro.exceptions import (
+    BudgetExhaustedError,
+    CrowdSkyError,
+    FaultInjectionError,
+    QuestionTimeoutError,
+    RetriesExhaustedError,
+)
 from repro.metrics.accuracy import (
     AccuracyReport,
     ak_skyline,
@@ -73,6 +81,7 @@ __all__ = [
     "Attribute",
     "AttributeKind",
     "BernoulliWorker",
+    "BudgetExhaustedError",
     "ContradictionPolicy",
     "CrowdSkyConfig",
     "CrowdSkyError",
@@ -82,13 +91,19 @@ __all__ = [
     "Direction",
     "Distribution",
     "DynamicVoting",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultStats",
     "MultiwayQuestion",
     "PairwiseQuestion",
     "PerfectWorker",
     "Preference",
     "PreferenceSystem",
     "PruningLevel",
+    "QuestionTimeoutError",
     "Relation",
+    "RetriesExhaustedError",
+    "RetryPolicy",
     "Schema",
     "SimulatedCrowd",
     "SkilledWorker",

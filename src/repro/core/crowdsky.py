@@ -22,7 +22,12 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Optional, Set
 
-from repro.core.engine import ExecutionContext, ask_pair, build_context
+from repro.core.engine import (
+    ExecutionContext,
+    ask_pair,
+    build_context,
+    request_unresolved,
+)
 from repro.core.preference import ContradictionPolicy
 from repro.core.result import CrowdSkylineResult
 from repro.core.tasks import TaskOutcome, TupleTask
@@ -165,6 +170,8 @@ def crowdsky_budgeted(
             algorithm=f"CrowdSky[budget={max_questions}]",
             budget_exhausted=True,
             complete_tuples=0,
+            degraded=True,
+            fault_stats=crowd.fault_stats,
         )
     level = config.pruning
     order = context.eval_order() if level.use_p1 else [
@@ -201,6 +208,8 @@ def crowdsky_budgeted(
             request = task.advance()
             while request is not None:
                 ask_pair(context, request)
+                if request_unresolved(context, request):
+                    task.abandon_request(request)
                 request = task.advance()
         except BudgetExhaustedError:
             exhausted = True
@@ -229,8 +238,11 @@ def crowdsky_budgeted(
         question_log=list(context.crowd.question_log),
         algorithm=f"CrowdSky[{level.value}, budget={max_questions}]",
         rejected_answers=context.prefs.total_rejected(),
-        budget_exhausted=exhausted,
+        budget_exhausted=exhausted or context.crowd.budget_degraded,
         complete_tuples=complete,
+        degraded=exhausted or context.degraded,
+        unresolved_pairs=sorted(context.unresolved_pairs),
+        fault_stats=context.crowd.fault_stats,
     )
 
 
@@ -265,6 +277,8 @@ def _run_serial(
         request = task.advance()
         while request is not None:
             ask_pair(context, request)
+            if request_unresolved(context, request):
+                task.abandon_request(request)
             request = task.advance()
         if task.outcome is TaskOutcome.NON_SKYLINE:
             complete_non_skyline.add(t)
@@ -277,4 +291,8 @@ def _run_serial(
         question_log=list(context.crowd.question_log),
         algorithm=f"CrowdSky[{level.value}]",
         rejected_answers=context.prefs.total_rejected(),
+        degraded=context.degraded,
+        unresolved_pairs=sorted(context.unresolved_pairs),
+        fault_stats=context.crowd.fault_stats,
+        budget_exhausted=context.crowd.budget_degraded,
     )

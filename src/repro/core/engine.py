@@ -49,6 +49,17 @@ class ExecutionContext:
     frequency: FrequencyOracle
     removed: Set[int] = field(default_factory=set)
     ac_round_robin: bool = False
+    #: Question keys ``(u, v, attribute)`` the crowd permanently gave up
+    #: on (fault-tolerant runs) — treated conservatively as incomparable.
+    unresolved_pairs: Set[TupleT[int, int, int]] = field(
+        default_factory=set
+    )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any question was given up on (pairs unresolved or the
+        budget ran out in non-strict mode)."""
+        return bool(self.unresolved_pairs) or self.crowd.budget_degraded
 
     @property
     def n(self) -> int:
@@ -141,7 +152,7 @@ def build_context(
             {s for s in members if s not in removed} for members in dominating
         ]
 
-    return ExecutionContext(
+    context = ExecutionContext(
         relation=relation,
         crowd=crowd,
         prefs=prefs,
@@ -151,6 +162,12 @@ def build_context(
         removed=removed,
         ac_round_robin=ac_round_robin,
     )
+    # Questions abandoned during preprocessing (non-strict faults) are
+    # already terminal; carry them into the context's unresolved set.
+    for key in crowd.unresolved_keys:
+        if len(key) == 3 and not isinstance(key[0], tuple):
+            context.unresolved_pairs.add(key)
+    return context
 
 
 def apply_answers(
@@ -202,6 +219,46 @@ def _request_attributes(
     return prefs.unknown_attributes(request.left, request.right)
 
 
+def _note_unresolved(
+    context: ExecutionContext, questions: Iterable[PairwiseQuestion]
+) -> None:
+    """Record the asked questions the crowd permanently gave up on."""
+    unresolved = context.crowd.unresolved_keys
+    if not unresolved:
+        return
+    for question in questions:
+        key = question.key()
+        if key in unresolved:
+            context.unresolved_pairs.add(key)
+
+
+def request_unresolved(
+    context: ExecutionContext, request: Union[PairRequest, MultiwayRequest]
+) -> bool:
+    """Whether a just-asked request is permanently unresolvable.
+
+    True when some attribute of the pair is still unknown (not even
+    transitively derivable) *and* its question was given up on by the
+    crowd — the scheduler must then abandon the request instead of
+    re-emitting it forever. Partial answers (other attributes) stay in
+    the preference system.
+    """
+    unresolved = context.crowd.unresolved_keys
+    if not unresolved:
+        return False
+    if isinstance(request, MultiwayRequest):
+        key = MultiwayQuestion(request.candidates, request.attribute).key()
+        return key in unresolved
+    prefs = context.prefs
+    for attribute in prefs.unknown_attributes(request.left, request.right):
+        key = PairwiseQuestion(
+            request.left, request.right, attribute
+        ).key()
+        if key in unresolved:
+            return True
+    return False
+
+
 def apply_multiway_answers(
     prefs: PreferenceSystem,
     answers: Dict[MultiwayQuestion, int],
@@ -243,10 +300,12 @@ def ask_pair(
         return
     if context.ac_round_robin and len(attributes) > 1:
         for attribute in attributes:
-            answers = context.crowd.ask_pairwise_round(
-                [PairwiseQuestion(request.left, request.right, attribute)]
+            question = PairwiseQuestion(
+                request.left, request.right, attribute
             )
+            answers = context.crowd.ask_pairwise_round([question])
             apply_answers(prefs, answers)
+            _note_unresolved(context, [question])
             if _request_decided(prefs, request):
                 break
         return
@@ -256,6 +315,7 @@ def ask_pair(
     ]
     answers = context.crowd.ask_pairwise_round(questions)
     apply_answers(prefs, answers)
+    _note_unresolved(context, questions)
 
 
 def ask_batch(
@@ -282,6 +342,7 @@ def ask_batch(
             )
     if questions:
         apply_answers(prefs, context.crowd.ask_pairwise_round(questions))
+        _note_unresolved(context, questions)
     if multiway:
         apply_multiway_answers(
             prefs, context.crowd.ask_multiway_round(multiway)

@@ -23,13 +23,14 @@ paper §4.2):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple as TupleT
 
 from repro.core.crowdsky import CrowdSkyConfig
 from repro.core.engine import (
     ExecutionContext,
     ask_batch,
     build_context,
+    request_unresolved,
 )
 from repro.core.result import CrowdSkylineResult
 from repro.core.tasks import PairRequest, TaskOutcome, TaskState, TupleTask
@@ -76,6 +77,10 @@ def _result(
         question_log=list(context.crowd.question_log),
         algorithm=algorithm,
         rejected_answers=context.prefs.total_rejected(),
+        degraded=context.degraded,
+        unresolved_pairs=sorted(context.unresolved_pairs),
+        fault_stats=context.crowd.fault_stats,
+        budget_exhausted=context.crowd.budget_degraded,
     )
 
 
@@ -161,17 +166,20 @@ def _run_lockstep(
         task.activate(complete_non_skyline)
     active = list(tasks)
     while active:
-        requests: List[PairRequest] = []
+        requests: List[TupleT[TupleTask, PairRequest]] = []
         still_active: List[TupleTask] = []
         for task in active:
             request = task.advance()
             if request is None:
                 _finalize(task, skyline, complete_non_skyline)
             else:
-                requests.append(request)
+                requests.append((task, request))
                 still_active.append(task)
         if requests:
-            ask_batch(context, requests)
+            ask_batch(context, [request for _, request in requests])
+            for task, request in requests:
+                if request_unresolved(context, request):
+                    task.abandon_request(request)
         active = still_active
 
 
@@ -244,5 +252,8 @@ def parallel_sl(
                 )
             break
         ask_batch(context, requests.values())
+        for t, request in requests.items():
+            if request_unresolved(context, request):
+                tasks[t].abandon_request(request)
 
     return _result(context, skyline, f"ParallelSL[{config.pruning.value}]")

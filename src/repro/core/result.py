@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple as TupleT
 
+from repro.crowd.faults import FaultStats
 from repro.crowd.platform import CrowdStats
 from repro.crowd.questions import PairwiseQuestion, Preference
 from repro.data.relation import Relation
@@ -42,6 +43,17 @@ class CrowdSkylineResult:
     budget_exhausted: bool = False
     #: Budgeted runs: tuples whose status was definitively decided.
     complete_tuples: Optional[int] = None
+    #: Fault-tolerant runs: True when some question was permanently given
+    #: up on (retries exhausted, deadline missed, or budget gone) — the
+    #: skyline is then a conservative superset: unresolved pairs were
+    #: treated as incomparable, so no true skyline tuple was dropped.
+    degraded: bool = False
+    #: The question keys ``(u, v, attribute)`` the crowd gave up on.
+    unresolved_pairs: List[TupleT[int, int, int]] = field(
+        default_factory=list
+    )
+    #: Injected-fault tallies (None when no fault plan was attached).
+    fault_stats: Optional[FaultStats] = None
 
     def skyline_labels(self, relation: Relation) -> Set[str]:
         """The skyline as human-readable labels."""
@@ -74,10 +86,19 @@ class CrowdSkylineResult:
             else:
                 pair = f"({question.left}, {question.right})"
             by_round.setdefault(round_number, []).append(pair)
-        return [
-            {"round": round_number, "questions": ", ".join(pairs)}
-            for round_number, pairs in sorted(by_round.items())
-        ]
+        retried = self.stats.retried_per_round
+        show_faults = self.stats.retries > 0 or self.stats.timeouts > 0
+        rows = []
+        for round_number, pairs in sorted(by_round.items()):
+            row = {"round": round_number, "questions": ", ".join(pairs)}
+            if show_faults:
+                # round_sizes[i] belongs to round i + 1.
+                index = round_number - 1
+                row["retried"] = (
+                    retried[index] if 0 <= index < len(retried) else 0
+                )
+            rows.append(row)
+        return rows
 
     def summary(self, relation: Optional[Relation] = None) -> str:
         """One-line human-readable summary."""
@@ -86,8 +107,19 @@ class CrowdSkylineResult:
             labels = " {" + ", ".join(
                 sorted(relation.label(i) for i in self.skyline)
             ) + "}"
-        return (
+        text = (
             f"{self.algorithm}: |skyline|={len(self.skyline)}{labels} "
             f"questions={self.stats.questions} rounds={self.stats.rounds} "
             f"cost=${self.stats.hit_cost():.2f}"
         )
+        stats = self.stats
+        if stats.retries or stats.timeouts or stats.degraded_answers:
+            text += (
+                f" retries={stats.retries} timeouts={stats.timeouts} "
+                f"degraded_answers={stats.degraded_answers}"
+            )
+        if self.degraded:
+            text += (
+                f" DEGRADED (unresolved_pairs={len(self.unresolved_pairs)})"
+            )
+        return text

@@ -132,8 +132,16 @@ class TupleTask:
         self._probe_pairs: List[TupleT[int, int]] = []
         self._ask_index = 0
         self._requested: Set[int] = set()
+        #: DS members whose Q(t) question the crowd gave up on — treated
+        #: conservatively as unable to dominate ``t``.
+        self._abandoned: Set[int] = set()
         self.state = TaskState.PENDING
         self.outcome: Optional[TaskOutcome] = None
+
+    @property
+    def abandoned_members(self) -> Set[int]:
+        """DS members skipped because their question was unresolvable."""
+        return set(self._abandoned)
 
     @property
     def dominating_set(self) -> List[int]:
@@ -196,6 +204,35 @@ class TupleTask:
             return True
         return False
 
+    def abandon_request(self, request) -> None:
+        """Give up on an unresolvable request (fault tolerance).
+
+        Called by a scheduler when the crowd permanently failed the
+        emitted request (retries exhausted, deadline missed, or budget
+        gone in non-strict mode). The request is resolved
+        *conservatively* — no pruning is derived from it:
+
+        * an abandoned probe pair keeps both members in ``DS(t)``,
+        * an abandoned multiway probe skips the rest of the probing
+          phase (probing is an optimization, never required),
+        * an abandoned ``Q(t)`` question treats its DS member as unable
+          to dominate ``t`` — ``t`` stays a skyline candidate, so the
+          degraded skyline can only gain tuples, never lose true ones.
+        """
+        if isinstance(request, MultiwayRequest):
+            self._probe_pairs = []
+            if self.state is TaskState.PROBING:
+                self.state = TaskState.ASKING
+            return
+        if self.state is TaskState.PROBING:
+            pair = (request.left, request.right)
+            flipped = (request.right, request.left)
+            self._probe_pairs = [
+                p for p in self._probe_pairs if p != pair and p != flipped
+            ]
+        elif self.state is TaskState.ASKING:
+            self._abandoned.add(request.left)
+
     def advance(self) -> Optional[PairRequest]:
         """Return the next pair needing crowd input, or None when done.
 
@@ -240,6 +277,11 @@ class TupleTask:
                 self.state = TaskState.DONE
                 break
             s = self._ds[self._ask_index]
+            if s in self._abandoned:
+                # Unresolvable question: conservatively assume s does not
+                # dominate t and move on.
+                self._ask_index += 1
+                continue
             if not self._use_p2 and s not in self._requested:
                 # Without P2 there is no preference-tree inference: every
                 # question of Q(t) is asked outright (§3.1-§3.2).

@@ -9,9 +9,14 @@ with a faithful simulation:
   ``p``, per-worker skill, spammer) and the worker pool,
 * :mod:`repro.crowd.voting` — static and dynamic majority voting (§5),
 * :mod:`repro.crowd.platform` — round-based question execution, HIT
-  batching, pricing and statistics (§6.2's cost formula).
+  batching, pricing and statistics (§6.2's cost formula),
+* :mod:`repro.crowd.faults` — deterministic fault injection
+  (abandonment, HIT expiry, transient errors, spam bursts),
+* :mod:`repro.crowd.retry` — retry/backoff policy for re-posting
+  questions that failed their round.
 """
 
+from repro.crowd.faults import FaultPlan, FaultStats, HitOutcome
 from repro.crowd.hits import Hit, HitLedger
 from repro.crowd.latency import LatencyEstimate, estimate_latency
 from repro.crowd.oracle import GroundTruthOracle
@@ -27,6 +32,7 @@ from repro.crowd.questions import (
     Preference,
     UnaryQuestion,
 )
+from repro.crowd.retry import RetryPolicy
 from repro.crowd.voting import (
     DynamicVoting,
     StaticVoting,
@@ -45,9 +51,13 @@ from repro.crowd.workers import (
 __all__ = [
     "BernoulliWorker",
     "CrowdStats",
+    "FaultPlan",
+    "FaultStats",
     "Hit",
     "HitLedger",
+    "HitOutcome",
     "LatencyEstimate",
+    "RetryPolicy",
     "MultiwayQuestion",
     "QualityAwareCrowd",
     "WorkerQualityTracker",

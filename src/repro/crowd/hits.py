@@ -89,6 +89,7 @@ class HitLedger:
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._rounds: Dict[int, RoundRecord] = {}
         self._next_hit_id = 0
+        self._backoff_rounds = 0
 
     def _sample_duration(self) -> float:
         # Lognormal with the configured *mean* (not median): adjust mu so
@@ -117,21 +118,39 @@ class HitLedger:
             self._next_hit_id += 1
             remaining -= batch
 
+    def record_backoff(self, rounds_waited: int) -> None:
+        """Account idle rounds spent waiting out retry backoff.
+
+        Re-posted HITs re-enter :meth:`record_round` as part of their
+        retry round (they are paid and sampled again); the backoff wait
+        itself posts nothing but still costs wall-clock time — one round
+        overhead per idle round.
+        """
+        if rounds_waited < 0:
+            raise CrowdPlatformError("rounds_waited must be >= 0")
+        self._backoff_rounds += rounds_waited
+
     @property
     def num_hits(self) -> int:
-        """Total HITs posted."""
+        """Total HITs posted (re-posted HITs count again)."""
         return self._next_hit_id
+
+    @property
+    def backoff_rounds(self) -> int:
+        """Idle rounds recorded via :meth:`record_backoff`."""
+        return self._backoff_rounds
 
     def rounds(self) -> List[RoundRecord]:
         """Per-round records in round order."""
         return [self._rounds[k] for k in sorted(self._rounds)]
 
     def wall_clock_seconds(self) -> float:
-        """Sampled wall-clock: Σ round makespans + per-round overhead."""
+        """Sampled wall-clock: Σ round makespans + per-round overhead,
+        plus one overhead per idle backoff round."""
         records = self.rounds()
         return sum(
             record.makespan + self._round_overhead for record in records
-        )
+        ) + self._backoff_rounds * self._round_overhead
 
     def mean_hit_duration(self) -> float:
         """Average sampled working time across all HITs."""

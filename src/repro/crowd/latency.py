@@ -37,6 +37,8 @@ class LatencyEstimate:
 
     rounds: int
     seconds: float
+    #: Idle rounds spent waiting out retry backoff (fault-tolerant runs).
+    backoff_rounds: int = 0
 
     @property
     def hours(self) -> float:
@@ -74,8 +76,20 @@ def estimate_latency(
     different workers), so a round costs one HIT time regardless of how
     many questions it contains — which is exactly why the paper
     minimizes rounds rather than questions for latency.
+
+    Fault-tolerant runs add latency in two ways, both reflected here:
+    re-posted questions execute as further rounds (already inside
+    ``stats.rounds``), and retry backoff spends idle rounds
+    (``stats.backoff_rounds``) that cost one round overhead each but no
+    HIT working time — nothing is posted while backing off.
     """
     if seconds_per_hit < 0 or round_overhead < 0:
         raise ValueError("latency parameters must be non-negative")
-    seconds = stats.rounds * (seconds_per_hit + round_overhead)
-    return LatencyEstimate(rounds=stats.rounds, seconds=seconds)
+    backoff = stats.backoff_rounds
+    seconds = (
+        stats.rounds * (seconds_per_hit + round_overhead)
+        + backoff * round_overhead
+    )
+    return LatencyEstimate(
+        rounds=stats.rounds, seconds=seconds, backoff_rounds=backoff
+    )

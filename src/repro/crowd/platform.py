@@ -14,16 +14,27 @@ cost follows the paper's AMT formula
 Duplicate micro-questions inside a round are merged (one HIT serves all
 requesters), and previously answered micro-questions are served from the
 platform's answer cache free of charge — questions are never re-asked.
+
+Fault tolerance: attach a :class:`~repro.crowd.faults.FaultPlan` to
+inject abandonment/expiry/transient/spam failures and a
+:class:`~repro.crowd.retry.RetryPolicy` to re-post failed questions in
+later rounds (with exponential round-backoff). In *strict* mode a fault
+that cannot be recovered raises; in non-strict mode the question is
+marked **unresolved** and the schedulers degrade gracefully (see
+`repro.core.engine`). Round accounting is atomic: a round either commits
+fully (stats, ledger, cache, log) or not at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Dict, Iterable, List, Optional, Tuple as TupleT
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, \
+    Tuple as TupleT
 
 import numpy as np
 
+from repro.crowd.faults import FaultPlan, FaultStats, HitOutcome
 from repro.crowd.oracle import GroundTruthOracle
 from repro.crowd.questions import (
     MultiwayQuestion,
@@ -31,10 +42,17 @@ from repro.crowd.questions import (
     Preference,
     UnaryQuestion,
 )
+from repro.crowd.retry import RetryPolicy
 from repro.crowd.voting import DEFAULT_OMEGA, StaticVoting, VotingPolicy
-from repro.crowd.workers import WorkerPool
+from repro.crowd.workers import SpammerWorker, WorkerPool
+from repro.exceptions import (
+    BudgetExhaustedError,
+    CrowdPlatformError,
+    FaultInjectionError,
+    QuestionTimeoutError,
+    RetriesExhaustedError,
+)
 from repro.data.relation import Relation
-from repro.exceptions import BudgetExhaustedError, CrowdPlatformError
 
 #: AMT price per question per worker used in the paper's §6.2.
 DEFAULT_PRICE = 0.02
@@ -52,13 +70,35 @@ class CrowdStats:
     worker_assignments: int = 0
     round_sizes: List[int] = field(default_factory=list)
     cached_hits: int = 0
+    #: Questions re-posted after a fault (each re-post counts once).
+    retries: int = 0
+    #: Questions that missed a deadline: expired HITs + per-question
+    #: retry deadlines.
+    timeouts: int = 0
+    #: Worker assignments that never returned (injected abandonment).
+    abandoned_assignments: int = 0
+    #: Answers aggregated from fewer votes than assigned, or produced by
+    #: an injected spam burst — delivered, but lower-confidence.
+    degraded_answers: int = 0
+    #: Questions given up on permanently (retries exhausted, deadline
+    #: missed, or budget ran out in non-strict mode).
+    unresolved_questions: int = 0
+    #: Idle rounds spent waiting out retry backoff (latency only — no
+    #: questions are posted while backing off).
+    backoff_rounds: int = 0
+    #: Per executed round: how many of its posted questions were
+    #: re-posts (parallel to ``round_sizes``).
+    retried_per_round: List[int] = field(default_factory=list)
 
-    def record_round(self, num_questions: int, num_assignments: int) -> None:
+    def record_round(
+        self, num_questions: int, num_assignments: int, retried: int = 0
+    ) -> None:
         """Account one executed round."""
         self.rounds += 1
         self.questions += num_questions
         self.worker_assignments += num_assignments
         self.round_sizes.append(num_questions)
+        self.retried_per_round.append(retried)
 
     def hit_cost(
         self,
@@ -83,6 +123,16 @@ class CrowdStats:
             + other.worker_assignments,
             round_sizes=self.round_sizes + other.round_sizes,
             cached_hits=self.cached_hits + other.cached_hits,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
+            abandoned_assignments=self.abandoned_assignments
+            + other.abandoned_assignments,
+            degraded_answers=self.degraded_answers + other.degraded_answers,
+            unresolved_questions=self.unresolved_questions
+            + other.unresolved_questions,
+            backoff_rounds=self.backoff_rounds + other.backoff_rounds,
+            retried_per_round=self.retried_per_round
+            + other.retried_per_round,
         )
         return merged
 
@@ -104,10 +154,27 @@ class SimulatedCrowd:
         Randomness for worker draws and error models.
     max_questions:
         Optional hard budget; exceeding it raises
-        :class:`~repro.exceptions.BudgetExhaustedError`.
+        :class:`~repro.exceptions.BudgetExhaustedError` in strict mode,
+        or marks the remaining questions *unresolved* otherwise.
     ledger:
         Optional :class:`repro.crowd.hits.HitLedger` recording the HIT
         structure and sampled working times of every round.
+    faults:
+        Optional :class:`~repro.crowd.faults.FaultPlan` injecting
+        abandonment / HIT-expiry / transient / spam failures into
+        pairwise rounds (deterministic from its own seed).
+    retry:
+        Optional :class:`~repro.crowd.retry.RetryPolicy` re-posting
+        failed questions in later rounds with exponential backoff.
+    strict:
+        Fault/budget handling. ``True``: unrecoverable faults raise
+        (:class:`~repro.exceptions.FaultInjectionError`,
+        :class:`~repro.exceptions.RetriesExhaustedError`,
+        :class:`~repro.exceptions.QuestionTimeoutError`,
+        :class:`~repro.exceptions.BudgetExhaustedError`). ``False``:
+        failed questions become *unresolved* and callers degrade
+        gracefully. Default ``None`` resolves to strict exactly when no
+        fault plan is attached — the seed behavior for fault-free runs.
     """
 
     def __init__(
@@ -119,6 +186,9 @@ class SimulatedCrowd:
         seed: Optional[int] = None,
         max_questions: Optional[int] = None,
         ledger: Optional["HitLedger"] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        strict: Optional[bool] = None,
     ):
         if rng is not None and seed is not None:
             raise CrowdPlatformError("pass either seed or rng, not both")
@@ -129,15 +199,47 @@ class SimulatedCrowd:
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._max_questions = max_questions
         self._ledger = ledger
+        self._faults = faults
+        self._retry = retry
+        self._strict = strict
         self._answers: Dict[TupleT[int, int, int], Preference] = {}
         self._unary_answers: Dict[TupleT[int, int], float] = {}
         self._multiway_answers: Dict[TupleT, int] = {}
+        self._unresolved: Set[TupleT] = set()
+        #: Did a non-strict run hit the question budget?
+        self.budget_degraded = False
         self.stats = CrowdStats()
         #: (round number, question, aggregated answer) per fresh question,
         #: in execution order — feeds the golden trace tests.
         self.question_log: List[
             TupleT[int, PairwiseQuestion, Preference]
         ] = []
+
+    @property
+    def strict(self) -> bool:
+        """Effective strictness: explicit flag, else strict iff no
+        fault plan is attached."""
+        if self._strict is not None:
+            return self._strict
+        return self._faults is None
+
+    @property
+    def fault_stats(self) -> Optional[FaultStats]:
+        """Injected-fault tallies, or None without a fault plan."""
+        return self._faults.stats if self._faults is not None else None
+
+    @property
+    def unresolved_keys(self) -> FrozenSet[TupleT]:
+        """Keys of questions permanently given up on (never re-asked)."""
+        return frozenset(self._unresolved)
+
+    def is_unresolved(self, question: PairwiseQuestion) -> bool:
+        """Whether the platform has permanently given up on a question."""
+        return question.key() in self._unresolved
+
+    def _mark_unresolved(self, key: TupleT) -> None:
+        self._unresolved.add(key)
+        self.stats.unresolved_questions += 1
 
     @property
     def relation(self) -> Relation:
@@ -159,6 +261,171 @@ class SimulatedCrowd:
             return answer.flipped()
         return answer
 
+    def _budget_blocks(self, num_fresh: int) -> bool:
+        """Whether posting ``num_fresh`` questions would bust the budget.
+
+        Strict mode raises; non-strict mode flags the degradation and
+        returns True so the caller marks the questions unresolved.
+        Nothing is mutated before this check — rounds commit atomically.
+        """
+        if self._max_questions is None:
+            return False
+        if self.stats.questions + num_fresh <= self._max_questions:
+            return False
+        if self.strict:
+            raise BudgetExhaustedError(
+                f"question budget of {self._max_questions} exceeded"
+            )
+        self.budget_degraded = True
+        return True
+
+    def _execute_pairwise_posting(
+        self, posted: List[PairwiseQuestion], retried: int
+    ) -> Dict[TupleT, str]:
+        """Execute one posted round, apply fault injection, and commit it.
+
+        Every posted question draws its workers and votes from the main
+        generator regardless of fault outcomes, so a zero-rate plan
+        leaves the answer stream byte-identical to a plan-free run.
+        Returns the failure kind (``'timeout'``/``'transient'``/
+        ``'abandoned'``) per failed question key; answered questions are
+        committed to the cache. The round commits atomically at the end.
+        """
+        plan = self._faults
+        answered: List[TupleT[PairwiseQuestion, Preference, bool]] = []
+        failures: Dict[TupleT, str] = {}
+        assignments = 0
+        abandoned = 0
+        spammer = SpammerWorker()
+        for start in range(0, len(posted), QUESTIONS_PER_HIT):
+            hit_questions = posted[start:start + QUESTIONS_PER_HIT]
+            outcome = plan.roll_hit() if plan is not None else HitOutcome.OK
+            for question in hit_questions:
+                omega = self._voting.workers_for(question)
+                workers = self._pool.draw(self._rng, omega)
+                votes = [
+                    worker.answer_pairwise(question, self._oracle, self._rng)
+                    for worker in workers
+                ]
+                if outcome is HitOutcome.EXPIRED:
+                    failures[question.key()] = "timeout"
+                    plan.stats.failed_questions += 1
+                    continue
+                if plan is not None and plan.roll_transient():
+                    failures[question.key()] = "transient"
+                    plan.stats.failed_questions += 1
+                    continue
+                if outcome is HitOutcome.SPAM:
+                    votes = [
+                        spammer.answer_pairwise(
+                            question, self._oracle, plan.rng
+                        )
+                        for _ in range(omega)
+                    ]
+                    assignments += omega
+                    answered.append(
+                        (question, self._voting.aggregate(votes), True)
+                    )
+                    continue
+                if plan is not None and plan.abandonment_rate > 0.0:
+                    votes = [
+                        vote
+                        for vote in votes
+                        if not plan.roll_abandonment()
+                    ]
+                if not votes:
+                    failures[question.key()] = "abandoned"
+                    abandoned += omega
+                    plan.stats.failed_questions += 1
+                    continue
+                abandoned += omega - len(votes)
+                assignments += len(votes)
+                answered.append(
+                    (question, self._voting.aggregate(votes),
+                     len(votes) < omega)
+                )
+
+        # Commit the round atomically: stats, ledger, cache, log.
+        self.stats.record_round(len(posted), assignments, retried=retried)
+        self.stats.abandoned_assignments += abandoned
+        self.stats.timeouts += sum(
+            1 for kind in failures.values() if kind == "timeout"
+        )
+        self.stats.degraded_answers += sum(
+            1 for _, _, degraded in answered if degraded
+        )
+        if self._ledger is not None:
+            self._ledger.record_round(self.stats.rounds, len(posted))
+        for question, answer, _ in answered:
+            self._answers[question.key()] = answer
+            self.question_log.append((self.stats.rounds, question, answer))
+        return failures
+
+    def _schedule_retries(
+        self,
+        failures: Dict[TupleT, str],
+        posted: List[PairwiseQuestion],
+        attempts: Dict[TupleT, int],
+        waited: Dict[TupleT, int],
+    ) -> List[PairwiseQuestion]:
+        """Decide the fate of this round's failed questions.
+
+        Returns the questions to re-post next round; the rest either
+        raise (strict mode) or become unresolved. All retried questions
+        of a round wait out the *longest* backoff among them (they share
+        the next posting round).
+        """
+        candidates: List[PairwiseQuestion] = []
+        for question in posted:
+            key = question.key()
+            kind = failures.get(key)
+            if kind is None:
+                continue
+            if self._retry is None:
+                if self.strict:
+                    raise FaultInjectionError(
+                        f"question {key} failed ({kind}) and no retry "
+                        "policy is attached"
+                    )
+                self._mark_unresolved(key)
+                continue
+            if not self._retry.attempts_left(attempts[key]):
+                if self.strict:
+                    raise RetriesExhaustedError(
+                        f"question {key} failed on all "
+                        f"{attempts[key]} attempts (last: {kind})"
+                    )
+                self._mark_unresolved(key)
+                continue
+            candidates.append(question)
+        if not candidates:
+            return []
+        assert self._retry is not None
+        round_backoff = max(
+            self._retry.backoff_rounds(attempts[q.key()])
+            for q in candidates
+        )
+        survivors: List[PairwiseQuestion] = []
+        for question in candidates:
+            key = question.key()
+            if self._retry.past_deadline(waited[key] + round_backoff):
+                self.stats.timeouts += 1
+                if self.strict:
+                    raise QuestionTimeoutError(
+                        f"question {key} missed its "
+                        f"{self._retry.deadline_rounds}-round deadline"
+                    )
+                self._mark_unresolved(key)
+                continue
+            waited[key] += round_backoff
+            self.stats.retries += 1
+            survivors.append(question)
+        if survivors and round_backoff:
+            self.stats.backoff_rounds += round_backoff
+            if self._ledger is not None:
+                self._ledger.record_backoff(round_backoff)
+        return survivors
+
     def ask_pairwise_round(
         self, questions: Iterable[PairwiseQuestion]
     ) -> Dict[PairwiseQuestion, Preference]:
@@ -168,9 +435,16 @@ class SimulatedCrowd:
         questions are served from cache without cost or a new round.
         Returns answers oriented to each *canonical* question; use
         :meth:`cached_answer` for arbitrary orientations.
+
+        With a fault plan attached, questions that fail their round are
+        re-posted per the retry policy (each re-post is a further
+        platform round); questions given up on permanently are omitted
+        from the returned dict and reported via :meth:`is_unresolved` —
+        they are never asked again.
         """
         unique: List[PairwiseQuestion] = []
         fresh: List[PairwiseQuestion] = []
+        cached = 0
         seen = set()
         for question in questions:
             key = question.key()
@@ -180,49 +454,56 @@ class SimulatedCrowd:
             canonical = question.canonical()
             unique.append(canonical)
             if key in self._answers:
-                self.stats.cached_hits += 1
-            else:
+                cached += 1
+            elif key not in self._unresolved:
                 fresh.append(canonical)
 
-        if not fresh:
-            return {q: self._answers[q.key()] for q in unique}
-
-        if self._max_questions is not None:
-            asked = self.stats.questions + len(fresh)
-            if asked > self._max_questions:
-                raise BudgetExhaustedError(
-                    f"question budget of {self._max_questions} exceeded"
-                )
-
-        assignments = 0
-        for question in fresh:
-            omega = self._voting.workers_for(question)
-            workers = self._pool.draw(self._rng, omega)
-            votes = [
-                worker.answer_pairwise(question, self._oracle, self._rng)
-                for worker in workers
-            ]
-            answer = self._voting.aggregate(votes)
-            assignments += omega
-            self._answers[question.key()] = answer
-        self.stats.record_round(len(fresh), assignments)
-        if self._ledger is not None:
-            self._ledger.record_round(self.stats.rounds, len(fresh))
-        for question in fresh:
-            self.question_log.append(
-                (self.stats.rounds, question, self._answers[question.key()])
+        pending = fresh
+        attempts: Dict[TupleT, int] = {}
+        waited: Dict[TupleT, int] = {}
+        while pending:
+            if self._budget_blocks(len(pending)):
+                for question in pending:
+                    self._mark_unresolved(question.key())
+                break
+            self.stats.cached_hits += cached
+            cached = 0
+            for question in pending:
+                key = question.key()
+                attempts[key] = attempts.get(key, 0) + 1
+                waited[key] = waited.get(key, 0) + 1
+            retried = sum(1 for q in pending if attempts[q.key()] > 1)
+            failures = self._execute_pairwise_posting(pending, retried)
+            if not failures:
+                break
+            pending = self._schedule_retries(
+                failures, pending, attempts, waited
             )
-        return {q: self._answers[q.key()] for q in unique}
+        self.stats.cached_hits += cached
+        return {
+            q: self._answers[q.key()]
+            for q in unique
+            if q.key() in self._answers
+        }
 
-    def ask_pairwise(self, question: PairwiseQuestion) -> Preference:
-        """Ask a single question as its own round (serial execution)."""
+    def ask_pairwise(
+        self, question: PairwiseQuestion
+    ) -> Optional[Preference]:
+        """Ask a single question as its own round (serial execution).
+
+        Returns None only when the platform has permanently given up on
+        the question (non-strict fault/budget degradation).
+        """
         cached = self.cached_answer(question)
         if cached is not None:
             self.stats.cached_hits += 1
             return cached
         self.ask_pairwise_round([question])
         answer = self.cached_answer(question)
-        assert answer is not None
+        if answer is None and question.key() not in self._unresolved:
+            raise CrowdPlatformError(
+                f"round left question {question.key()} unanswered"
+            )
         return answer
 
     def ask_multiway_round(
@@ -237,6 +518,7 @@ class SimulatedCrowd:
         """
         unique: List[MultiwayQuestion] = []
         fresh: List[MultiwayQuestion] = []
+        cached = 0
         seen = set()
         for question in questions:
             key = question.key()
@@ -245,17 +527,19 @@ class SimulatedCrowd:
             seen.add(key)
             unique.append(question)
             if key in self._multiway_answers:
-                self.stats.cached_hits += 1
-            else:
+                cached += 1
+            elif key not in self._unresolved:
                 fresh.append(question)
-        if not fresh:
-            return {q: self._multiway_answers[q.key()] for q in unique}
-
-        if self._max_questions is not None:
-            if self.stats.questions + len(fresh) > self._max_questions:
-                raise BudgetExhaustedError(
-                    f"question budget of {self._max_questions} exceeded"
-                )
+        if not fresh or self._budget_blocks(len(fresh)):
+            self.stats.cached_hits += cached
+            for question in fresh:
+                self._mark_unresolved(question.key())
+            return {
+                q: self._multiway_answers[q.key()]
+                for q in unique
+                if q.key() in self._multiway_answers
+            }
+        self.stats.cached_hits += cached
 
         assignments = 0
         for question in fresh:
@@ -293,22 +577,23 @@ class SimulatedCrowd:
         estimates are averaged.
         """
         fresh: List[UnaryQuestion] = []
+        cached = 0
         results: Dict[UnaryQuestion, float] = {}
         for question in questions:
             key = (question.tuple_index, question.attribute)
             if key in self._unary_answers:
-                self.stats.cached_hits += 1
+                cached += 1
                 results[question] = self._unary_answers[key]
-            else:
+            elif key not in self._unresolved:
                 fresh.append(question)
-        if not fresh:
-            return results
-
-        if self._max_questions is not None:
-            if self.stats.questions + len(fresh) > self._max_questions:
-                raise BudgetExhaustedError(
-                    f"question budget of {self._max_questions} exceeded"
+        if not fresh or self._budget_blocks(len(fresh)):
+            self.stats.cached_hits += cached
+            for question in fresh:
+                self._mark_unresolved(
+                    (question.tuple_index, question.attribute)
                 )
+            return results
+        self.stats.cached_hits += cached
 
         assignments = 0
         for question in fresh:

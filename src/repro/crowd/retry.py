@@ -1,0 +1,87 @@
+"""Retry/backoff policy for unanswered crowd questions.
+
+When a fault (see :mod:`repro.crowd.faults`) leaves a question
+unanswered at the end of its round, a real requester re-posts the HIT.
+:class:`RetryPolicy` captures how the simulated platform does that:
+
+* ``max_attempts`` bounds the number of posts per question (the first
+  post counts as attempt 1),
+* failed attempts back off exponentially, measured in *rounds* — the
+  platform's unit of latency — so the k-th failure waits
+  ``backoff_base · backoff_factor^(k−1)`` rounds (capped at
+  ``max_backoff``) before the re-post,
+* an optional ``deadline_rounds`` gives up on a question outright once
+  it has been pending for that many rounds, regardless of attempts
+  left.
+
+What happens when a question gives up depends on the platform's strict
+mode: strict raises (:class:`~repro.exceptions.RetriesExhaustedError` /
+:class:`~repro.exceptions.QuestionTimeoutError`), non-strict marks the
+question *unresolved* so schedulers can degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import CrowdPlatformError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Re-posting policy for questions that fail their round.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total posts allowed per question (>= 1); ``1`` disables retries.
+    backoff_base:
+        Rounds waited after the first failed attempt.
+    backoff_factor:
+        Multiplier applied to the wait for each further failure.
+    max_backoff:
+        Upper bound on the per-retry wait, in rounds.
+    deadline_rounds:
+        Optional total round budget per question: once the question has
+        been pending this many rounds (posts + backoff waits), it times
+        out instead of being re-posted.
+    """
+
+    max_attempts: int = 3
+    backoff_base: int = 1
+    backoff_factor: float = 2.0
+    max_backoff: int = 8
+    deadline_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CrowdPlatformError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise CrowdPlatformError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise CrowdPlatformError("backoff_factor must be >= 1")
+        if self.max_backoff < 0:
+            raise CrowdPlatformError("max_backoff must be >= 0")
+        if self.deadline_rounds is not None and self.deadline_rounds < 1:
+            raise CrowdPlatformError("deadline_rounds must be >= 1")
+
+    def backoff_rounds(self, failed_attempts: int) -> int:
+        """Rounds to wait before the re-post after ``failed_attempts``
+        failures (>= 1)."""
+        if failed_attempts < 1:
+            raise CrowdPlatformError("failed_attempts must be >= 1")
+        wait = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return int(min(self.max_backoff, wait))
+
+    def attempts_left(self, attempts_made: int) -> bool:
+        """Whether another post is allowed after ``attempts_made``."""
+        return attempts_made < self.max_attempts
+
+    def past_deadline(self, rounds_pending: int) -> bool:
+        """Whether a question pending for ``rounds_pending`` rounds has
+        missed its deadline."""
+        return (
+            self.deadline_rounds is not None
+            and rounds_pending >= self.deadline_rounds
+        )

@@ -11,7 +11,10 @@ with probability ``p`` (default 0.8). We model that as
   work cited in §2.1),
 * :class:`SpammerWorker` — answers uniformly at random (AMT spam; the
   paper filters these by requiring Masters qualification, which we model
-  as excluding spammers from the pool).
+  as excluding spammers from the pool). The fault-injection layer
+  (:mod:`repro.crowd.faults`) reuses this model for *spam bursts*: a
+  whole HIT answered by a spam crew drawn from the fault plan's own
+  generator, so burst injection never perturbs the honest answer stream.
 
 For unary (quantitative) questions workers return the true latent value
 perturbed by Gaussian noise scaled to the attribute's value range —
@@ -211,7 +214,11 @@ class DifficultyAwareWorker(Worker):
 
 
 class SpammerWorker(Worker):
-    """Answers uniformly at random — models unfiltered AMT spam."""
+    """Answers uniformly at random — models unfiltered AMT spam.
+
+    Also the crew behind :class:`repro.crowd.faults.FaultPlan` spam
+    bursts; pass the plan's generator as ``rng`` to keep burst answers
+    off the honest randomness stream."""
 
     def answer_pairwise(self, question, oracle, rng):
         choices = (Preference.LEFT, Preference.RIGHT, Preference.EQUAL)

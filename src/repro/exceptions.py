@@ -31,6 +31,27 @@ class BudgetExhaustedError(CrowdPlatformError):
     """A question was issued after the configured budget ran out."""
 
 
+class FaultInjectionError(CrowdPlatformError):
+    """An injected platform fault could not be recovered.
+
+    Raised by a *strict* :class:`~repro.crowd.platform.SimulatedCrowd`
+    when a fault hits a question and no retry policy is attached."""
+
+
+class QuestionTimeoutError(CrowdPlatformError):
+    """A question missed its per-question round deadline.
+
+    Raised in strict mode when a :class:`~repro.crowd.retry.RetryPolicy`
+    ``deadline_rounds`` would be exceeded before the next re-post."""
+
+
+class RetriesExhaustedError(CrowdPlatformError):
+    """A question failed on every allowed attempt.
+
+    Raised in strict mode once a question has been re-posted
+    ``RetryPolicy.max_attempts`` times without receiving an answer."""
+
+
 class PreferenceConflictError(CrowdSkyError):
     """An answer would make the preference graph inconsistent (cycle)."""
 

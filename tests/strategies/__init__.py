@@ -1,0 +1,23 @@
+"""Hypothesis strategies for property-based tests.
+
+Re-exports commonly used strategies for convenience::
+
+    from tests.strategies import fault_plans, lossy_fault_plans, \
+        retry_policies, small_crowd_relations, ROBUSTNESS_SETTINGS
+"""
+
+from tests.strategies.faults import (
+    fault_plans,
+    lossy_fault_plans,
+    retry_policies,
+    small_crowd_relations,
+)
+from tests.strategies.settings import ROBUSTNESS_SETTINGS
+
+__all__ = [
+    "ROBUSTNESS_SETTINGS",
+    "fault_plans",
+    "lossy_fault_plans",
+    "retry_policies",
+    "small_crowd_relations",
+]

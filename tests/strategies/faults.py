@@ -1,0 +1,75 @@
+"""Hypothesis strategies for fault-tolerance properties.
+
+The strategies build *configurations*, not live objects with RNG state:
+``fault_plans`` returns the kwargs for a :class:`repro.crowd.faults.
+FaultPlan` so each property-test run can construct a fresh plan (plans
+carry generator state and must not be reused across runs).
+"""
+
+from hypothesis import strategies as st
+
+from repro.crowd.retry import RetryPolicy
+from tests.conftest import make_relation
+
+#: Fault rates kept below certainty so runs keep making progress.
+_rates = st.floats(
+    min_value=0.0, max_value=0.5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def fault_plans(draw):
+    """Kwargs for an arbitrary :class:`FaultPlan` (spam included)."""
+    return {
+        "abandonment_rate": draw(_rates),
+        "hit_timeout_rate": draw(_rates),
+        "transient_error_rate": draw(_rates),
+        "spam_burst_rate": draw(_rates),
+        "seed": draw(st.integers(0, 2 ** 16)),
+    }
+
+
+@st.composite
+def lossy_fault_plans(draw):
+    """Kwargs for plans that *lose* answers but never corrupt them
+    (no spam bursts) — the regime with a superset guarantee."""
+    kwargs = draw(fault_plans())
+    kwargs["spam_burst_rate"] = 0.0
+    return kwargs
+
+
+@st.composite
+def retry_policies(draw):
+    """An arbitrary valid :class:`RetryPolicy` (stateless, reusable)."""
+    return RetryPolicy(
+        max_attempts=draw(st.integers(1, 4)),
+        backoff_base=draw(st.integers(0, 3)),
+        backoff_factor=draw(
+            st.floats(min_value=1.0, max_value=3.0, allow_nan=False)
+        ),
+        max_backoff=draw(st.integers(0, 6)),
+        deadline_rounds=draw(
+            st.one_of(st.none(), st.integers(2, 12))
+        ),
+    )
+
+
+@st.composite
+def small_crowd_relations(draw):
+    """Small integer-grid relations with one crowd attribute — ties and
+    duplicates included, the nasty cases for dominance logic."""
+    known = draw(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    latent = draw(
+        st.lists(
+            st.tuples(st.integers(0, 5)),
+            min_size=len(known),
+            max_size=len(known),
+        )
+    )
+    return make_relation(known, latent)

@@ -1,0 +1,11 @@
+"""Shared Hypothesis settings profiles for the test suite."""
+
+from hypothesis import HealthCheck, settings
+
+#: Profile for the fault-injection property tests: each example runs a
+#: full (small) skyline computation, so examples are few and undeadlined.
+ROBUSTNESS_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
