@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness bench bench-ci experiments experiments-paper examples lint-clean
+.PHONY: install test test-robustness test-obs bench bench-ci experiments experiments-paper examples trace-demo lint-clean
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -14,6 +14,9 @@ test:
 
 test-robustness:
 	REPRO_FAULT_SEEDS="$(REPRO_FAULT_SEEDS)" pytest tests/test_faults.py -m faults -q
+
+test-obs:
+	pytest tests/test_obs.py -m obs -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -29,3 +32,12 @@ experiments-paper:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+# Record a small traced IND run, then validate the JSONL trace against
+# the event schema and cross-check it against the metrics dump.
+trace-demo:
+	python -m repro.experiments run fig6a --scale smoke \
+		--trace trace-demo.jsonl --metrics trace-demo.prom
+	python -m repro.experiments trace validate trace-demo.jsonl \
+		--metrics trace-demo.prom
+	python -m repro.experiments trace summarize trace-demo.jsonl

@@ -8,14 +8,24 @@ record (``extra_info``) so runs are self-documenting.
 Scale is controlled with ``--repro-scale`` (default ``smoke`` so that
 ``pytest benchmarks/ --benchmark-only`` stays minutes-fast; use ``ci`` or
 ``paper`` to regenerate EXPERIMENTS.md numbers).
+
+Profiling hooks: pass ``--repro-trace-dir DIR`` and/or
+``--repro-metrics-dir DIR`` to record, for every benchmarked experiment,
+a structured JSONL event trace (``DIR/<experiment_id>.jsonl``) and a
+Prometheus-style metrics dump (``DIR/<experiment_id>.prom``) of the
+measured run.
 """
 
 from __future__ import annotations
+
+import os
+from contextlib import nullcontext
 
 import pytest
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.report import format_table
+from repro.obs import observe
 
 
 def pytest_addoption(parser):
@@ -26,6 +36,18 @@ def pytest_addoption(parser):
         choices=("smoke", "ci", "paper"),
         help="parameter grid for the figure/table reproductions",
     )
+    parser.addoption(
+        "--repro-trace-dir",
+        action="store",
+        default=None,
+        help="write a JSONL event trace per benchmarked experiment here",
+    )
+    parser.addoption(
+        "--repro-metrics-dir",
+        action="store",
+        default=None,
+        help="write a Prometheus metrics dump per experiment here",
+    )
 
 
 @pytest.fixture
@@ -34,17 +56,47 @@ def scale(request):
 
 
 @pytest.fixture
-def run_figure(benchmark, scale):
+def obs_dirs(request):
+    """(trace_dir, metrics_dir) from the profiling options, created."""
+    dirs = []
+    for option in ("--repro-trace-dir", "--repro-metrics-dir"):
+        directory = request.config.getoption(option)
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        dirs.append(directory)
+    return tuple(dirs)
+
+
+@pytest.fixture
+def run_figure(benchmark, scale, obs_dirs):
     """Run one experiment under pytest-benchmark and return its rows."""
+    trace_dir, metrics_dir = obs_dirs
 
     def runner(experiment_id):
-        result = benchmark.pedantic(
-            run_experiment,
-            args=(experiment_id,),
-            kwargs={"scale": scale},
-            rounds=1,
-            iterations=1,
+        observing = (
+            observe(
+                trace_path=(
+                    os.path.join(trace_dir, f"{experiment_id}.jsonl")
+                    if trace_dir
+                    else None
+                ),
+                metrics_path=(
+                    os.path.join(metrics_dir, f"{experiment_id}.prom")
+                    if metrics_dir
+                    else None
+                ),
+            )
+            if trace_dir or metrics_dir
+            else nullcontext()
         )
+        with observing:
+            result = benchmark.pedantic(
+                run_experiment,
+                args=(experiment_id,),
+                kwargs={"scale": scale},
+                rounds=1,
+                iterations=1,
+            )
         print()
         print(format_table(result))
         benchmark.extra_info["rows"] = result.rows

@@ -19,8 +19,10 @@ from repro import (
     crowdsky,
     generate_synthetic,
     ground_truth_skyline,
+    observe,
     parallel_dset,
     parallel_sl,
+    summarize_trace,
 )
 
 
@@ -81,6 +83,21 @@ def main() -> None:
     print(
         "unresolved pairs are kept conservatively incomparable, so the "
         "degraded skyline never drops a true skyline tuple."
+    )
+
+    # Observability: the same run under an active trace. Inside the
+    # observe() scope every round, vote, retry and fault becomes a
+    # structured event, and the result's summary gains wall-clock time.
+    print("\ntraced run (see docs/observability.md):")
+    data = generate_synthetic(200, 4, 1, Distribution.INDEPENDENT, seed=0)
+    with observe() as observation:
+        result = parallel_sl(data)
+    print(result.summary())
+    print()
+    print(summarize_trace(observation.tracer.events))
+    print(
+        "pass trace_path=/metrics_path= to observe() — or --trace/"
+        "--metrics on the CLI — to persist the artifacts."
     )
 
 

@@ -71,6 +71,13 @@ from repro.metrics.accuracy import (
     ground_truth_skyline,
     precision_recall,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_observation,
+    observe,
+    summarize_trace,
+)
 from repro.query.executor import execute_query
 from repro.query.parser import parse_query
 
@@ -85,15 +92,16 @@ __all__ = [
     "ContradictionPolicy",
     "CrowdSkyConfig",
     "CrowdSkyError",
-    "DifficultyAwareWorker",
     "CrowdSkylineResult",
     "CrowdStats",
+    "DifficultyAwareWorker",
     "Direction",
     "Distribution",
     "DynamicVoting",
     "FaultInjectionError",
     "FaultPlan",
     "FaultStats",
+    "MetricsRegistry",
     "MultiwayQuestion",
     "PairwiseQuestion",
     "PerfectWorker",
@@ -109,6 +117,7 @@ __all__ = [
     "SkilledWorker",
     "SpammerWorker",
     "StaticVoting",
+    "Tracer",
     "Tuple",
     "UnaryQuestion",
     "WorkerPool",
@@ -116,12 +125,15 @@ __all__ = [
     "baseline_skyline",
     "crowdsky",
     "crowdsky_budgeted",
+    "current_observation",
     "execute_query",
     "generate_synthetic",
     "ground_truth_skyline",
+    "observe",
     "parallel_dset",
     "parallel_sl",
     "parse_query",
     "precision_recall",
+    "summarize_trace",
     "unary_skyline",
 ]

@@ -22,6 +22,7 @@ from repro.crowd.platform import SimulatedCrowd
 from repro.crowd.questions import PairwiseQuestion, Preference
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
+from repro.obs import phase, run_span
 from repro.skyline.bnl import bnl_skyline
 from repro.sorting.comparators import crowd_comparator
 from repro.sorting.tournament import tournament_sort
@@ -120,19 +121,26 @@ def baseline_skyline(
         crowd = SimulatedCrowd(relation)
 
     ranker = crowd_ranks if sort == "tournament" else bitonic_crowd_ranks
-    rank_columns: List[np.ndarray] = [
-        ranker(relation, crowd, attribute)
-        for attribute in range(relation.schema.num_crowd)
-    ]
-    augmented = np.hstack(
-        [relation.known_matrix()]
-        + [column[:, None] for column in rank_columns]
-    )
-    skyline = set(bnl_skyline(augmented))
+    with run_span("baseline", n=len(relation), sort=sort) as span:
+        with phase("crowd_sort"):
+            rank_columns: List[np.ndarray] = [
+                ranker(relation, crowd, attribute)
+                for attribute in range(relation.schema.num_crowd)
+            ]
+        with phase("machine_skyline"):
+            augmented = np.hstack(
+                [relation.known_matrix()]
+                + [column[:, None] for column in rank_columns]
+            )
+            skyline = set(bnl_skyline(augmented))
 
-    return CrowdSkylineResult(
-        skyline=skyline,
-        stats=crowd.stats,
-        question_log=list(crowd.question_log),
-        algorithm=f"Baseline[{sort}]",
-    )
+        result = CrowdSkylineResult(
+            skyline=skyline,
+            stats=crowd.stats,
+            question_log=list(crowd.question_log),
+            algorithm=f"Baseline[{sort}]",
+            metrics=crowd.metrics,
+        )
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result

@@ -26,7 +26,9 @@ from repro.core.engine import (
     ExecutionContext,
     ask_pair,
     build_context,
+    record_tuple,
     request_unresolved,
+    tuple_trace,
 )
 from repro.core.preference import ContradictionPolicy
 from repro.core.result import CrowdSkylineResult
@@ -34,6 +36,8 @@ from repro.core.tasks import TaskOutcome, TupleTask
 from repro.crowd.platform import SimulatedCrowd
 from repro.data.relation import Relation
 from repro.exceptions import BudgetExhaustedError
+from repro.obs import current_observation, phase, run_span
+from repro.obs.metrics import TUPLES_EVALUATED
 
 
 class PruningLevel(enum.Enum):
@@ -117,14 +121,20 @@ def crowdsky(
         Skyline indices plus full question/round/cost accounting.
     """
     config = config or CrowdSkyConfig()
-    context = build_context(
-        relation,
-        crowd,
-        policy=config.policy,
-        ac_round_robin=config.ac_round_robin,
-        visible_crowd=visible_crowd,
-    )
-    return _run_serial(context, config)
+    with run_span(
+        "crowdsky", n=len(relation), pruning=config.pruning.value
+    ) as span:
+        context = build_context(
+            relation,
+            crowd,
+            policy=config.policy,
+            ac_round_robin=config.ac_round_robin,
+            visible_crowd=visible_crowd,
+        )
+        result = _run_serial(context, config)
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result
 
 
 def crowdsky_budgeted(
@@ -152,6 +162,21 @@ def crowdsky_budgeted(
     if crowd is None:
         crowd = SimulatedCrowd(relation)
     crowd.set_budget(max_questions)
+    with run_span(
+        "crowdsky_budgeted", n=len(relation), budget=max_questions
+    ) as span:
+        result = _run_budgeted(relation, crowd, config, max_questions)
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result
+
+
+def _run_budgeted(
+    relation: Relation,
+    crowd: SimulatedCrowd,
+    config: CrowdSkyConfig,
+    max_questions: int,
+) -> CrowdSkylineResult:
     try:
         context = build_context(
             relation,
@@ -172,6 +197,7 @@ def crowdsky_budgeted(
             complete_tuples=0,
             degraded=True,
             fault_stats=crowd.fault_stats,
+            metrics=crowd.metrics,
         )
     level = config.pruning
     order = context.eval_order() if level.use_p1 else [
@@ -184,42 +210,46 @@ def crowdsky_budgeted(
     exhausted = False
     undecided: Set[int] = set()
 
-    for t in order:
-        if exhausted:
-            undecided.add(t)
-            continue
-        if not context.dominating[t]:
-            skyline.add(t)
-            complete += 1
-            continue
-        task = TupleTask(
-            t,
-            context.ds_in_eval_order(t),
-            context.prefs,
-            context.frequency,
-            use_p1=level.use_p1,
-            use_p2=level.use_p2,
-            use_p3=level.use_p3,
-            probe_ascending=config.probe_ascending,
-            multiway=config.multiway,
-        )
-        task.activate(complete_non_skyline)
-        try:
-            request = task.advance()
-            while request is not None:
-                ask_pair(context, request)
-                if request_unresolved(context, request):
-                    task.abandon_request(request)
+    with phase("evaluate"):
+        trace = tuple_trace()
+        for t in order:
+            if exhausted:
+                undecided.add(t)
+                continue
+            if not context.dominating[t]:
+                skyline.add(t)
+                complete += 1
+                record_tuple(context, trace, t, "skyline")
+                continue
+            task = TupleTask(
+                t,
+                context.ds_in_eval_order(t),
+                context.prefs,
+                context.frequency,
+                use_p1=level.use_p1,
+                use_p2=level.use_p2,
+                use_p3=level.use_p3,
+                probe_ascending=config.probe_ascending,
+                multiway=config.multiway,
+            )
+            task.activate(complete_non_skyline)
+            try:
                 request = task.advance()
-        except BudgetExhaustedError:
-            exhausted = True
-            undecided.add(t)
-            continue
-        complete += 1
-        if task.outcome is TaskOutcome.NON_SKYLINE:
-            complete_non_skyline.add(t)
-        else:
-            skyline.add(t)
+                while request is not None:
+                    ask_pair(context, request)
+                    if request_unresolved(context, request):
+                        task.abandon_request(request)
+                    request = task.advance()
+            except BudgetExhaustedError:
+                exhausted = True
+                undecided.add(t)
+                continue
+            complete += 1
+            if task.outcome is TaskOutcome.NON_SKYLINE:
+                complete_non_skyline.add(t)
+            else:
+                skyline.add(t)
+            record_tuple(context, trace, t, task.outcome.value)
 
     # Default-skyline finalization for undecided tuples: keep them unless
     # a dominating-set member already dominates them in current knowledge
@@ -243,6 +273,7 @@ def crowdsky_budgeted(
         degraded=exhausted or context.degraded,
         unresolved_pairs=sorted(context.unresolved_pairs),
         fault_stats=context.crowd.fault_stats,
+        metrics=context.crowd.metrics,
     )
 
 
@@ -258,32 +289,36 @@ def _run_serial(
     complete_non_skyline: Set[int] = set(context.removed)
     skyline: Set[int] = set()
 
-    for t in order:
-        if not context.dominating[t]:
-            skyline.add(t)  # complete skyline tuple from the start (§2.3)
-            continue
-        task = TupleTask(
-            t,
-            context.ds_in_eval_order(t),
-            context.prefs,
-            context.frequency,
-            use_p1=level.use_p1,
-            use_p2=level.use_p2,
-            use_p3=level.use_p3,
-            probe_ascending=config.probe_ascending,
-            multiway=config.multiway,
-        )
-        task.activate(complete_non_skyline)
-        request = task.advance()
-        while request is not None:
-            ask_pair(context, request)
-            if request_unresolved(context, request):
-                task.abandon_request(request)
+    with phase("evaluate"):
+        trace = tuple_trace()
+        for t in order:
+            if not context.dominating[t]:
+                skyline.add(t)  # complete skyline tuple from start (§2.3)
+                record_tuple(context, trace, t, "skyline")
+                continue
+            task = TupleTask(
+                t,
+                context.ds_in_eval_order(t),
+                context.prefs,
+                context.frequency,
+                use_p1=level.use_p1,
+                use_p2=level.use_p2,
+                use_p3=level.use_p3,
+                probe_ascending=config.probe_ascending,
+                multiway=config.multiway,
+            )
+            task.activate(complete_non_skyline)
             request = task.advance()
-        if task.outcome is TaskOutcome.NON_SKYLINE:
-            complete_non_skyline.add(t)
-        else:
-            skyline.add(t)
+            while request is not None:
+                ask_pair(context, request)
+                if request_unresolved(context, request):
+                    task.abandon_request(request)
+                request = task.advance()
+            if task.outcome is TaskOutcome.NON_SKYLINE:
+                complete_non_skyline.add(t)
+            else:
+                skyline.add(t)
+            record_tuple(context, trace, t, task.outcome.value)
 
     return CrowdSkylineResult(
         skyline=skyline,
@@ -295,4 +330,5 @@ def _run_serial(
         unresolved_pairs=sorted(context.unresolved_pairs),
         fault_stats=context.crowd.fault_stats,
         budget_exhausted=context.crowd.budget_degraded,
+        metrics=context.crowd.metrics,
     )

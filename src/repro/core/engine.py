@@ -24,6 +24,8 @@ from repro.crowd.questions import (
 )
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
+from repro.obs import current_observation, phase
+from repro.obs.metrics import QUESTIONS_SAVED_TRANSITIVITY, TUPLES_EVALUATED
 from repro.skyline.dominating import (
     FrequencyOracle,
     dominating_sets,
@@ -136,32 +138,37 @@ def build_context(
     if crowd.relation is not relation:
         raise CrowdSkyError("crowd platform was built for a different relation")
 
-    n = len(relation)
-    prefs = PreferenceSystem(n, relation.schema.num_crowd, policy)
-    if visible_crowd is not None:
-        seed_visible_preferences(prefs, relation, visible_crowd)
-    removed = preprocess_duplicates(relation, crowd, prefs)
+    with phase("build_context"):
+        n = len(relation)
+        prefs = PreferenceSystem(n, relation.schema.num_crowd, policy)
+        if visible_crowd is not None:
+            edges = seed_visible_preferences(prefs, relation, visible_crowd)
+            observation = current_observation()
+            if observation.enabled:
+                observation.tracer.event("engine.visible_seed", edges=edges)
+        removed = preprocess_duplicates(relation, crowd, prefs)
 
-    known = relation.known_matrix()
-    matrix = dominance_matrix(known)
-    frequency = FrequencyOracle(matrix)
+        known = relation.known_matrix()
+        matrix = dominance_matrix(known)
+        frequency = FrequencyOracle(matrix)
 
-    dominating = dominating_sets(known)
-    if removed:
-        dominating = [
-            {s for s in members if s not in removed} for members in dominating
-        ]
+        dominating = dominating_sets(known)
+        if removed:
+            dominating = [
+                {s for s in members if s not in removed}
+                for members in dominating
+            ]
 
-    context = ExecutionContext(
-        relation=relation,
-        crowd=crowd,
-        prefs=prefs,
-        matrix=matrix,
-        dominating=dominating,
-        frequency=frequency,
-        removed=removed,
-        ac_round_robin=ac_round_robin,
-    )
+        context = ExecutionContext(
+            relation=relation,
+            crowd=crowd,
+            prefs=prefs,
+            matrix=matrix,
+            dominating=dominating,
+            frequency=frequency,
+            removed=removed,
+            ac_round_robin=ac_round_robin,
+        )
     # Questions abandoned during preprocessing (non-strict faults) are
     # already terminal; carry them into the context's unresolved set.
     for key in crowd.unresolved_keys:
@@ -259,6 +266,19 @@ def request_unresolved(
     return False
 
 
+def tuple_trace():
+    """The active tracer for per-tuple events, or ``None`` when off."""
+    observation = current_observation()
+    return observation.tracer if observation.enabled else None
+
+
+def record_tuple(context: ExecutionContext, trace, t: int, outcome: str) -> None:
+    """Account one evaluated tuple: counter always, event when tracing."""
+    context.crowd.count_metric(TUPLES_EVALUATED, outcome=outcome)
+    if trace is not None:
+        trace.event("engine.tuple", t=t, outcome=outcome)
+
+
 def apply_multiway_answers(
     prefs: PreferenceSystem,
     answers: Dict[MultiwayQuestion, int],
@@ -296,6 +316,10 @@ def ask_pair(
         )
         return
     attributes = _request_attributes(prefs, request)
+    if not request.force:
+        saved = prefs.num_attributes - len(attributes)
+        if saved:
+            context.crowd.count_metric(QUESTIONS_SAVED_TRANSITIVITY, saved)
     if not attributes:
         return
     if context.ac_round_robin and len(attributes) > 1:
@@ -330,16 +354,33 @@ def ask_batch(
     prefs = context.prefs
     questions: List[PairwiseQuestion] = []
     multiway: List[MultiwayQuestion] = []
+    pairs = 0
     for request in requests:
         if isinstance(request, MultiwayRequest):
             multiway.append(
                 MultiwayQuestion(request.candidates, request.attribute)
             )
             continue
-        for attribute in _request_attributes(prefs, request):
+        pairs += 1
+        attributes = _request_attributes(prefs, request)
+        if not request.force:
+            saved = prefs.num_attributes - len(attributes)
+            if saved:
+                context.crowd.count_metric(
+                    QUESTIONS_SAVED_TRANSITIVITY, saved
+                )
+        for attribute in attributes:
             questions.append(
                 PairwiseQuestion(request.left, request.right, attribute)
             )
+    observation = current_observation()
+    if observation.enabled and (questions or multiway):
+        observation.tracer.event(
+            "engine.batch",
+            pairs=pairs,
+            multiway=len(multiway),
+            questions=len(questions),
+        )
     if questions:
         apply_answers(prefs, context.crowd.ask_pairwise_round(questions))
         _note_unresolved(context, questions)

@@ -30,13 +30,16 @@ from repro.core.engine import (
     ExecutionContext,
     ask_batch,
     build_context,
+    record_tuple,
     request_unresolved,
+    tuple_trace,
 )
 from repro.core.result import CrowdSkylineResult
 from repro.core.tasks import PairRequest, TaskOutcome, TaskState, TupleTask
 from repro.crowd.platform import SimulatedCrowd
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
+from repro.obs import phase, run_span
 from repro.skyline.layers import covering_graph_from_matrix
 
 
@@ -58,6 +61,7 @@ def _make_task(
 
 
 def _finalize(
+    context: ExecutionContext,
     task: TupleTask,
     skyline: Set[int],
     complete_non_skyline: Set[int],
@@ -66,6 +70,7 @@ def _finalize(
         complete_non_skyline.add(task.t)
     else:
         skyline.add(task.t)
+    record_tuple(context, tuple_trace(), task.t, task.outcome.value)
 
 
 def _result(
@@ -81,6 +86,7 @@ def _result(
         unresolved_pairs=sorted(context.unresolved_pairs),
         fault_stats=context.crowd.fault_stats,
         budget_exhausted=context.crowd.budget_degraded,
+        metrics=context.crowd.metrics,
     )
 
 
@@ -97,32 +103,45 @@ def parallel_dset(
 ) -> CrowdSkylineResult:
     """CrowdSky with the dominating-set partitioning scheduler (§4.1)."""
     config = config or CrowdSkyConfig()
-    context = build_context(
-        relation,
-        crowd,
-        policy=config.policy,
-        ac_round_robin=config.ac_round_robin,
-        visible_crowd=visible_crowd,
-    )
+    with run_span(
+        "parallel_dset", n=len(relation), pruning=config.pruning.value
+    ) as span:
+        context = build_context(
+            relation,
+            crowd,
+            policy=config.policy,
+            ac_round_robin=config.ac_round_robin,
+            visible_crowd=visible_crowd,
+        )
 
-    skyline: Set[int] = set()
-    complete_non_skyline: Set[int] = set(context.removed)
+        skyline: Set[int] = set()
+        complete_non_skyline: Set[int] = set(context.removed)
 
-    # Group by |DS(t)|; the empty-DS group completes without questions.
-    groups: Dict[int, List[int]] = {}
-    for t in context.eval_order():
-        groups.setdefault(len(context.dominating[t]), []).append(t)
-    for t in groups.pop(0, []):
-        skyline.add(t)
+        with phase("evaluate"):
+            # Group by |DS(t)|; the empty-DS group needs no questions.
+            groups: Dict[int, List[int]] = {}
+            for t in context.eval_order():
+                groups.setdefault(len(context.dominating[t]), []).append(t)
+            trace = tuple_trace()
+            for t in groups.pop(0, []):
+                skyline.add(t)
+                record_tuple(context, trace, t, "skyline")
 
-    for size in sorted(groups):
-        members = groups[size]
-        for batch in _disjoint_batches(context, members, complete_non_skyline):
-            _run_lockstep(
-                context, batch, config, skyline, complete_non_skyline
-            )
+            for size in sorted(groups):
+                members = groups[size]
+                for batch in _disjoint_batches(
+                    context, members, complete_non_skyline
+                ):
+                    _run_lockstep(
+                        context, batch, config, skyline, complete_non_skyline
+                    )
 
-    return _result(context, skyline, f"ParallelDSet[{config.pruning.value}]")
+        result = _result(
+            context, skyline, f"ParallelDSet[{config.pruning.value}]"
+        )
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result
 
 
 def _disjoint_batches(
@@ -171,7 +190,7 @@ def _run_lockstep(
         for task in active:
             request = task.advance()
             if request is None:
-                _finalize(task, skyline, complete_non_skyline)
+                _finalize(context, task, skyline, complete_non_skyline)
             else:
                 requests.append((task, request))
                 still_active.append(task)
@@ -196,64 +215,78 @@ def parallel_sl(
 ) -> CrowdSkylineResult:
     """CrowdSky with the skyline-layer scheduler (Algorithm 2, §4.2)."""
     config = config or CrowdSkyConfig()
-    context = build_context(
-        relation,
-        crowd,
-        policy=config.policy,
-        ac_round_robin=config.ac_round_robin,
-        visible_crowd=visible_crowd,
-    )
+    with run_span(
+        "parallel_sl", n=len(relation), pruning=config.pruning.value
+    ) as span:
+        context = build_context(
+            relation,
+            crowd,
+            policy=config.policy,
+            ac_round_robin=config.ac_round_robin,
+            visible_crowd=visible_crowd,
+        )
 
-    cover = covering_graph_from_matrix(context.matrix)
+        cover = covering_graph_from_matrix(context.matrix)
 
-    skyline: Set[int] = set()
-    complete_non_skyline: Set[int] = set(context.removed)
-    complete: Set[int] = set(context.removed)
+        skyline: Set[int] = set()
+        complete_non_skyline: Set[int] = set(context.removed)
+        complete: Set[int] = set(context.removed)
 
-    tasks: Dict[int, TupleTask] = {}
-    order = context.eval_order()
-    for t in order:
-        if not context.dominating[t]:
-            skyline.add(t)  # SL1: complete skyline tuples, C's initial value
-            complete.add(t)
-        else:
-            tasks[t] = _make_task(context, t, config)
+        tasks: Dict[int, TupleTask] = {}
+        order = context.eval_order()
+        trace = tuple_trace()
+        for t in order:
+            if not context.dominating[t]:
+                skyline.add(t)  # SL1: complete skyline tuples, C's seed
+                complete.add(t)
+                record_tuple(context, trace, t, "skyline")
+            else:
+                tasks[t] = _make_task(context, t, config)
 
-    pending = [t for t in order if t in tasks]
-    finished: Set[int] = set()
+        pending = [t for t in order if t in tasks]
+        finished: Set[int] = set()
 
-    while len(finished) < len(tasks):
-        requests: Dict[int, PairRequest] = {}
-        changed = True
-        while changed:
-            changed = False
-            for t in pending:
-                if t in finished or t in requests:
-                    continue
-                task = tasks[t]
-                if task.state is TaskState.PENDING:
-                    if cover[t] <= complete:
-                        task.activate(complete_non_skyline)
-                    else:
-                        continue
-                request = task.advance()
-                if request is None:
-                    _finalize(task, skyline, complete_non_skyline)
-                    complete.add(t)
-                    finished.add(t)
-                    changed = True
-                else:
-                    requests[t] = request
-        if not requests:
-            if len(finished) < len(tasks):  # pragma: no cover - safety net
-                raise CrowdSkyError(
-                    "ParallelSL deadlock: tuples waiting on incomplete "
-                    "dominators with no questions in flight"
-                )
-            break
-        ask_batch(context, requests.values())
-        for t, request in requests.items():
-            if request_unresolved(context, request):
-                tasks[t].abandon_request(request)
+        with phase("evaluate"):
+            while len(finished) < len(tasks):
+                requests: Dict[int, PairRequest] = {}
+                changed = True
+                while changed:
+                    changed = False
+                    for t in pending:
+                        if t in finished or t in requests:
+                            continue
+                        task = tasks[t]
+                        if task.state is TaskState.PENDING:
+                            if cover[t] <= complete:
+                                task.activate(complete_non_skyline)
+                            else:
+                                continue
+                        request = task.advance()
+                        if request is None:
+                            _finalize(
+                                context, task, skyline, complete_non_skyline
+                            )
+                            complete.add(t)
+                            finished.add(t)
+                            changed = True
+                        else:
+                            requests[t] = request
+                if not requests:
+                    if len(finished) < len(tasks):  # pragma: no cover
+                        raise CrowdSkyError(
+                            "ParallelSL deadlock: tuples waiting on "
+                            "incomplete dominators with no questions in "
+                            "flight"
+                        )
+                    break
+                ask_batch(context, requests.values())
+                for t, request in requests.items():
+                    if request_unresolved(context, request):
+                        tasks[t].abandon_request(request)
 
-    return _result(context, skyline, f"ParallelSL[{config.pruning.value}]")
+        result = _result(
+            context, skyline, f"ParallelSL[{config.pruning.value}]"
+        )
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result

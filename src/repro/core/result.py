@@ -9,6 +9,12 @@ from repro.crowd.faults import FaultStats
 from repro.crowd.platform import CrowdStats
 from repro.crowd.questions import PairwiseQuestion, Preference
 from repro.data.relation import Relation
+from repro.obs.metrics import (
+    DEGRADED_ANSWERS,
+    MetricsRegistry,
+    RETRIES,
+    TIMEOUTS,
+)
 
 
 @dataclass
@@ -54,6 +60,21 @@ class CrowdSkylineResult:
     )
     #: Injected-fault tallies (None when no fault plan was attached).
     fault_stats: Optional[FaultStats] = None
+    #: Run-local metrics registry of the crowd platform that produced
+    #: this result — the single source for fault/retry numbers in
+    #: :meth:`summary` and :meth:`round_table` (``stats`` remains as a
+    #: fallback for hand-built results).
+    metrics: Optional[MetricsRegistry] = None
+    #: Wall-clock seconds of the run, stamped when a trace was active
+    #: (``repro.obs.observe``); None otherwise.
+    wall_time_s: Optional[float] = None
+
+    def _metric_total(self, name: str, fallback: int) -> int:
+        """A counter total from the attached registry, or ``fallback``
+        (the legacy ``CrowdStats`` field) when none is attached."""
+        if self.metrics is None:
+            return fallback
+        return int(self.metrics.total(name))
 
     def skyline_labels(self, relation: Relation) -> Set[str]:
         """The skyline as human-readable labels."""
@@ -87,7 +108,10 @@ class CrowdSkylineResult:
                 pair = f"({question.left}, {question.right})"
             by_round.setdefault(round_number, []).append(pair)
         retried = self.stats.retried_per_round
-        show_faults = self.stats.retries > 0 or self.stats.timeouts > 0
+        show_faults = (
+            self._metric_total(RETRIES, self.stats.retries) > 0
+            or self._metric_total(TIMEOUTS, self.stats.timeouts) > 0
+        )
         rows = []
         for round_number, pairs in sorted(by_round.items()):
             row = {"round": round_number, "questions": ", ".join(pairs)}
@@ -101,7 +125,13 @@ class CrowdSkylineResult:
         return rows
 
     def summary(self, relation: Optional[Relation] = None) -> str:
-        """One-line human-readable summary."""
+        """One-line human-readable summary.
+
+        Fault/retry numbers come from the attached metrics registry
+        (the platform's own accounting); total wall-clock time is
+        appended when the run executed under an active trace
+        (:func:`repro.obs.observe`).
+        """
         labels = ""
         if relation is not None:
             labels = " {" + ", ".join(
@@ -113,13 +143,20 @@ class CrowdSkylineResult:
             f"cost=${self.stats.hit_cost():.2f}"
         )
         stats = self.stats
-        if stats.retries or stats.timeouts or stats.degraded_answers:
+        retries = self._metric_total(RETRIES, stats.retries)
+        timeouts = self._metric_total(TIMEOUTS, stats.timeouts)
+        degraded_answers = self._metric_total(
+            DEGRADED_ANSWERS, stats.degraded_answers
+        )
+        if retries or timeouts or degraded_answers:
             text += (
-                f" retries={stats.retries} timeouts={stats.timeouts} "
-                f"degraded_answers={stats.degraded_answers}"
+                f" retries={retries} timeouts={timeouts} "
+                f"degraded_answers={degraded_answers}"
             )
         if self.degraded:
             text += (
                 f" DEGRADED (unresolved_pairs={len(self.unresolved_pairs)})"
             )
+        if self.wall_time_s is not None:
+            text += f" wall={self.wall_time_s:.3f}s"
         return text

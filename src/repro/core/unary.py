@@ -25,6 +25,7 @@ from repro.crowd.questions import UnaryQuestion
 from repro.crowd.voting import DEFAULT_OMEGA
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
+from repro.obs import phase, run_span
 from repro.skyline.bnl import bnl_skyline
 
 
@@ -52,18 +53,25 @@ def unary_skyline(
 
     n = len(relation)
     m = relation.schema.num_crowd
-    estimates = np.empty((n, m), dtype=float)
-    for attribute in range(m):
-        questions = [UnaryQuestion(i, attribute) for i in range(n)]
-        answers = crowd.ask_unary_round(questions, omega=omega)
-        for question, value in answers.items():
-            estimates[question.tuple_index, attribute] = value
+    with run_span("unary", n=n, omega=omega) as span:
+        estimates = np.empty((n, m), dtype=float)
+        with phase("estimate"):
+            for attribute in range(m):
+                questions = [UnaryQuestion(i, attribute) for i in range(n)]
+                answers = crowd.ask_unary_round(questions, omega=omega)
+                for question, value in answers.items():
+                    estimates[question.tuple_index, attribute] = value
 
-    augmented = np.hstack([relation.known_matrix(), estimates])
-    skyline = set(bnl_skyline(augmented))
+        with phase("machine_skyline"):
+            augmented = np.hstack([relation.known_matrix(), estimates])
+            skyline = set(bnl_skyline(augmented))
 
-    return CrowdSkylineResult(
-        skyline=skyline,
-        stats=crowd.stats,
-        algorithm="Unary[12]",
-    )
+        result = CrowdSkylineResult(
+            skyline=skyline,
+            stats=crowd.stats,
+            algorithm="Unary[12]",
+            metrics=crowd.metrics,
+        )
+    if span is not None:
+        result.wall_time_s = span.duration_s
+    return result

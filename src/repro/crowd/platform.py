@@ -23,6 +23,15 @@ that cannot be recovered raises; in non-strict mode the question is
 marked **unresolved** and the schedulers degrade gracefully (see
 `repro.core.engine`). Round accounting is atomic: a round either commits
 fully (stats, ledger, cache, log) or not at all.
+
+Observability: every platform owns a run-local
+:class:`~repro.obs.metrics.MetricsRegistry` (``crowd.metrics``) fed at
+round granularity, and when a global :func:`repro.obs.observe` scope is
+active the platform additionally emits structured trace events (one per
+round, batch, vote, fault, retry, budget decision and unresolved
+question) plus the same counter increments into the observation's
+aggregate registry. With observability off, the trace hooks cost one
+``enabled`` check per site.
 """
 
 from __future__ import annotations
@@ -36,6 +45,23 @@ import numpy as np
 
 from repro.crowd.faults import FaultPlan, FaultStats, HitOutcome
 from repro.crowd.oracle import GroundTruthOracle
+from repro.obs import current_observation
+from repro.obs.logging import get_logger
+from repro.obs.metrics import (
+    BACKOFF_ROUNDS,
+    BUDGET_DENIALS,
+    CACHE_HITS,
+    DEGRADED_ANSWERS,
+    FAULTS_INJECTED,
+    MetricsRegistry,
+    QUESTIONS_ASKED,
+    RETRIES,
+    ROUND_SIZE,
+    ROUNDS,
+    TIMEOUTS,
+    UNRESOLVED_QUESTIONS,
+    WORKER_ASSIGNMENTS,
+)
 from repro.crowd.questions import (
     MultiwayQuestion,
     PairwiseQuestion,
@@ -59,6 +85,8 @@ DEFAULT_PRICE = 0.02
 
 #: Questions batched per HIT in the paper's §6.2.
 QUESTIONS_PER_HIT = 5
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -209,6 +237,10 @@ class SimulatedCrowd:
         #: Did a non-strict run hit the question budget?
         self.budget_degraded = False
         self.stats = CrowdStats()
+        #: Run-local metrics registry (round-granularity; results report
+        #: from it). The globally installed observation, when enabled,
+        #: receives the same increments via :meth:`count_metric`.
+        self.metrics = MetricsRegistry()
         #: (round number, question, aggregated answer) per fresh question,
         #: in execution order — feeds the golden trace tests.
         self.question_log: List[
@@ -237,9 +269,32 @@ class SimulatedCrowd:
         """Whether the platform has permanently given up on a question."""
         return question.key() in self._unresolved
 
-    def _mark_unresolved(self, key: TupleT) -> None:
+    def count_metric(
+        self, name: str, amount: float = 1, **labels: str
+    ) -> None:
+        """Increment a counter in the run-local registry and, when a
+        global observation is installed, in its aggregate registry too."""
+        self.metrics.counter(name, **labels).inc(amount)
+        observation = current_observation()
+        if observation.enabled:
+            observation.metrics.counter(name, **labels).inc(amount)
+
+    def _observe_round_size(self, size: int) -> None:
+        self.metrics.histogram(ROUND_SIZE).observe(size)
+        observation = current_observation()
+        if observation.enabled:
+            observation.metrics.histogram(ROUND_SIZE).observe(size)
+
+    def _mark_unresolved(self, key: TupleT, reason: str = "fault") -> None:
         self._unresolved.add(key)
         self.stats.unresolved_questions += 1
+        self.count_metric(UNRESOLVED_QUESTIONS, reason=reason)
+        observation = current_observation()
+        if observation.enabled:
+            observation.tracer.event(
+                "crowd.unresolved", question=list(key), reason=reason
+            )
+        _log.warning("question %s permanently unresolved (%s)", key, reason)
 
     @property
     def relation(self) -> Relation:
@@ -272,6 +327,20 @@ class SimulatedCrowd:
             return False
         if self.stats.questions + num_fresh <= self._max_questions:
             return False
+        self.count_metric(BUDGET_DENIALS)
+        observation = current_observation()
+        if observation.enabled:
+            observation.tracer.event(
+                "crowd.budget",
+                budget=self._max_questions,
+                spent=self.stats.questions,
+                requested=num_fresh,
+                strict=self.strict,
+            )
+        _log.info(
+            "budget of %d blocks posting %d questions (%d spent)",
+            self._max_questions, num_fresh, self.stats.questions,
+        )
         if self.strict:
             raise BudgetExhaustedError(
                 f"question budget of {self._max_questions} exceeded"
@@ -297,6 +366,8 @@ class SimulatedCrowd:
         assignments = 0
         abandoned = 0
         spammer = SpammerWorker()
+        observation = current_observation()
+        trace = observation.tracer if observation.enabled else None
         for start in range(0, len(posted), QUESTIONS_PER_HIT):
             hit_questions = posted[start:start + QUESTIONS_PER_HIT]
             outcome = plan.roll_hit() if plan is not None else HitOutcome.OK
@@ -310,10 +381,24 @@ class SimulatedCrowd:
                 if outcome is HitOutcome.EXPIRED:
                     failures[question.key()] = "timeout"
                     plan.stats.failed_questions += 1
+                    self.count_metric(FAULTS_INJECTED, kind="timeout")
+                    if trace is not None:
+                        trace.event(
+                            "crowd.fault",
+                            question=list(question.key()),
+                            fault="timeout",
+                        )
                     continue
                 if plan is not None and plan.roll_transient():
                     failures[question.key()] = "transient"
                     plan.stats.failed_questions += 1
+                    self.count_metric(FAULTS_INJECTED, kind="transient")
+                    if trace is not None:
+                        trace.event(
+                            "crowd.fault",
+                            question=list(question.key()),
+                            fault="transient",
+                        )
                     continue
                 if outcome is HitOutcome.SPAM:
                     votes = [
@@ -326,6 +411,19 @@ class SimulatedCrowd:
                     answered.append(
                         (question, self._voting.aggregate(votes), True)
                     )
+                    self.count_metric(FAULTS_INJECTED, kind="spam")
+                    if trace is not None:
+                        trace.event(
+                            "crowd.fault",
+                            question=list(question.key()),
+                            fault="spam",
+                        )
+                        for vote in votes:
+                            trace.event(
+                                "crowd.vote",
+                                question=list(question.key()),
+                                vote=vote.value,
+                            )
                     continue
                 if plan is not None and plan.abandonment_rate > 0.0:
                     votes = [
@@ -337,6 +435,13 @@ class SimulatedCrowd:
                     failures[question.key()] = "abandoned"
                     abandoned += omega
                     plan.stats.failed_questions += 1
+                    self.count_metric(FAULTS_INJECTED, kind="abandoned")
+                    if trace is not None:
+                        trace.event(
+                            "crowd.fault",
+                            question=list(question.key()),
+                            fault="abandoned",
+                        )
                     continue
                 abandoned += omega - len(votes)
                 assignments += len(votes)
@@ -344,15 +449,46 @@ class SimulatedCrowd:
                     (question, self._voting.aggregate(votes),
                      len(votes) < omega)
                 )
+                if trace is not None:
+                    for vote in votes:
+                        trace.event(
+                            "crowd.vote",
+                            question=list(question.key()),
+                            vote=vote.value,
+                        )
 
         # Commit the round atomically: stats, ledger, cache, log.
-        self.stats.record_round(len(posted), assignments, retried=retried)
-        self.stats.abandoned_assignments += abandoned
-        self.stats.timeouts += sum(
+        timeout_failures = sum(
             1 for kind in failures.values() if kind == "timeout"
         )
-        self.stats.degraded_answers += sum(
+        degraded_answers = sum(
             1 for _, _, degraded in answered if degraded
+        )
+        self.stats.record_round(len(posted), assignments, retried=retried)
+        self.stats.abandoned_assignments += abandoned
+        self.stats.timeouts += timeout_failures
+        self.stats.degraded_answers += degraded_answers
+        self.count_metric(ROUNDS)
+        self.count_metric(QUESTIONS_ASKED, len(posted))
+        if assignments:
+            self.count_metric(WORKER_ASSIGNMENTS, assignments)
+        if timeout_failures:
+            self.count_metric(TIMEOUTS, timeout_failures)
+        if degraded_answers:
+            self.count_metric(DEGRADED_ANSWERS, degraded_answers)
+        self._observe_round_size(len(posted))
+        if trace is not None:
+            trace.event(
+                "crowd.round",
+                round=self.stats.rounds,
+                questions=len(posted),
+                assignments=assignments,
+                retried=retried,
+                format="pairwise",
+            )
+        _log.debug(
+            "round %d: %d questions, %d assignments, %d failures",
+            self.stats.rounds, len(posted), assignments, len(failures),
         )
         if self._ledger is not None:
             self._ledger.record_round(self.stats.rounds, len(posted))
@@ -375,6 +511,8 @@ class SimulatedCrowd:
         of a round wait out the *longest* backoff among them (they share
         the next posting round).
         """
+        observation = current_observation()
+        trace = observation.tracer if observation.enabled else None
         candidates: List[PairwiseQuestion] = []
         for question in posted:
             key = question.key()
@@ -387,7 +525,7 @@ class SimulatedCrowd:
                         f"question {key} failed ({kind}) and no retry "
                         "policy is attached"
                     )
-                self._mark_unresolved(key)
+                self._mark_unresolved(key, reason="no_retry_policy")
                 continue
             if not self._retry.attempts_left(attempts[key]):
                 if self.strict:
@@ -395,7 +533,7 @@ class SimulatedCrowd:
                         f"question {key} failed on all "
                         f"{attempts[key]} attempts (last: {kind})"
                     )
-                self._mark_unresolved(key)
+                self._mark_unresolved(key, reason="retries_exhausted")
                 continue
             candidates.append(question)
         if not candidates:
@@ -410,18 +548,32 @@ class SimulatedCrowd:
             key = question.key()
             if self._retry.past_deadline(waited[key] + round_backoff):
                 self.stats.timeouts += 1
+                self.count_metric(TIMEOUTS)
                 if self.strict:
                     raise QuestionTimeoutError(
                         f"question {key} missed its "
                         f"{self._retry.deadline_rounds}-round deadline"
                     )
-                self._mark_unresolved(key)
+                self._mark_unresolved(key, reason="deadline")
                 continue
             waited[key] += round_backoff
             self.stats.retries += 1
+            self.count_metric(RETRIES)
+            if trace is not None:
+                trace.event(
+                    "crowd.retry",
+                    question=list(key),
+                    attempt=attempts[key],
+                    backoff=round_backoff,
+                )
+            _log.debug(
+                "re-posting %s (attempt %d, backoff %d rounds)",
+                key, attempts[key] + 1, round_backoff,
+            )
             survivors.append(question)
         if survivors and round_backoff:
             self.stats.backoff_rounds += round_backoff
+            self.count_metric(BACKOFF_ROUNDS, round_backoff)
             if self._ledger is not None:
                 self._ledger.record_backoff(round_backoff)
         return survivors
@@ -458,14 +610,26 @@ class SimulatedCrowd:
             elif key not in self._unresolved:
                 fresh.append(canonical)
 
+        observation = current_observation()
+        if observation.enabled and unique:
+            observation.tracer.event(
+                "crowd.batch",
+                requested=len(unique),
+                fresh=len(fresh),
+                cached=cached,
+                format="pairwise",
+            )
+
         pending = fresh
         attempts: Dict[TupleT, int] = {}
         waited: Dict[TupleT, int] = {}
         while pending:
             if self._budget_blocks(len(pending)):
                 for question in pending:
-                    self._mark_unresolved(question.key())
+                    self._mark_unresolved(question.key(), reason="budget")
                 break
+            if cached:
+                self.count_metric(CACHE_HITS, cached)
             self.stats.cached_hits += cached
             cached = 0
             for question in pending:
@@ -479,6 +643,8 @@ class SimulatedCrowd:
             pending = self._schedule_retries(
                 failures, pending, attempts, waited
             )
+        if cached:
+            self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
         return {
             q: self._answers[q.key()]
@@ -497,6 +663,7 @@ class SimulatedCrowd:
         cached = self.cached_answer(question)
         if cached is not None:
             self.stats.cached_hits += 1
+            self.count_metric(CACHE_HITS)
             return cached
         self.ask_pairwise_round([question])
         answer = self.cached_answer(question)
@@ -530,15 +697,29 @@ class SimulatedCrowd:
                 cached += 1
             elif key not in self._unresolved:
                 fresh.append(question)
+        observation = current_observation()
+        trace = observation.tracer if observation.enabled else None
+        if trace is not None and unique:
+            trace.event(
+                "crowd.batch",
+                requested=len(unique),
+                fresh=len(fresh),
+                cached=cached,
+                format="multiway",
+            )
         if not fresh or self._budget_blocks(len(fresh)):
+            if cached:
+                self.count_metric(CACHE_HITS, cached)
             self.stats.cached_hits += cached
             for question in fresh:
-                self._mark_unresolved(question.key())
+                self._mark_unresolved(question.key(), reason="budget")
             return {
                 q: self._multiway_answers[q.key()]
                 for q in unique
                 if q.key() in self._multiway_answers
             }
+        if cached:
+            self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
 
         assignments = 0
@@ -563,7 +744,28 @@ class SimulatedCrowd:
             )
             assignments += omega
             self._multiway_answers[question.key()] = winner
+            if trace is not None:
+                for vote in votes:
+                    trace.event(
+                        "crowd.vote",
+                        question=list(question.key()),
+                        vote=int(vote),
+                    )
         self.stats.record_round(len(fresh), assignments)
+        self.count_metric(ROUNDS)
+        self.count_metric(QUESTIONS_ASKED, len(fresh))
+        if assignments:
+            self.count_metric(WORKER_ASSIGNMENTS, assignments)
+        self._observe_round_size(len(fresh))
+        if trace is not None:
+            trace.event(
+                "crowd.round",
+                round=self.stats.rounds,
+                questions=len(fresh),
+                assignments=assignments,
+                retried=0,
+                format="multiway",
+            )
         if self._ledger is not None:
             self._ledger.record_round(self.stats.rounds, len(fresh))
         return {q: self._multiway_answers[q.key()] for q in unique}
@@ -586,13 +788,28 @@ class SimulatedCrowd:
                 results[question] = self._unary_answers[key]
             elif key not in self._unresolved:
                 fresh.append(question)
+        observation = current_observation()
+        trace = observation.tracer if observation.enabled else None
+        if trace is not None and (fresh or cached):
+            trace.event(
+                "crowd.batch",
+                requested=len(fresh) + cached,
+                fresh=len(fresh),
+                cached=cached,
+                format="unary",
+            )
         if not fresh or self._budget_blocks(len(fresh)):
+            if cached:
+                self.count_metric(CACHE_HITS, cached)
             self.stats.cached_hits += cached
             for question in fresh:
                 self._mark_unresolved(
-                    (question.tuple_index, question.attribute)
+                    (question.tuple_index, question.attribute),
+                    reason="budget",
                 )
             return results
+        if cached:
+            self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
 
         assignments = 0
@@ -608,7 +825,27 @@ class SimulatedCrowd:
                 (question.tuple_index, question.attribute)
             ] = value
             results[question] = value
+            if trace is not None:
+                trace.event(
+                    "crowd.estimate",
+                    question=[question.tuple_index, question.attribute],
+                    value=value,
+                )
         self.stats.record_round(len(fresh), assignments)
+        self.count_metric(ROUNDS)
+        self.count_metric(QUESTIONS_ASKED, len(fresh))
+        if assignments:
+            self.count_metric(WORKER_ASSIGNMENTS, assignments)
+        self._observe_round_size(len(fresh))
+        if trace is not None:
+            trace.event(
+                "crowd.round",
+                round=self.stats.rounds,
+                questions=len(fresh),
+                assignments=assignments,
+                retried=0,
+                format="unary",
+            )
         if self._ledger is not None:
             self._ledger.record_round(self.stats.rounds, len(fresh))
         return results

@@ -70,3 +70,11 @@ class QuerySemanticError(QueryError):
 
 class ExperimentError(CrowdSkyError):
     """An experiment id or configuration is invalid."""
+
+
+class ObservabilityError(CrowdSkyError):
+    """The observability layer (tracer/metrics/exporters) was misused."""
+
+
+class TraceSchemaError(ObservabilityError):
+    """A recorded trace violates the event schema."""

@@ -5,6 +5,12 @@ Subcommands::
     crowdsky list                     # show all experiment ids
     crowdsky run fig8 --scale ci      # reproduce a figure/table
     crowdsky run all --scale smoke    # run everything (e.g. sanity sweep)
+    crowdsky run fig6a --trace t.jsonl --metrics m.prom   # traced run
+    crowdsky trace summarize t.jsonl  # human-readable trace report
+    crowdsky trace validate t.jsonl --metrics m.prom      # schema check
+
+Set ``REPRO_LOG_LEVEL=debug`` (or info/warning) for diagnostic logging
+on stderr.
 """
 
 from __future__ import annotations
@@ -12,14 +18,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, TraceSchemaError
 from repro.experiments.registry import (
     available_experiments,
     run_experiment,
 )
 from repro.experiments.report import format_table
+from repro.obs import observe, read_trace_jsonl, summarize_trace
+from repro.obs.logging import configure_logging, level_from_env
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,10 +60,41 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally write results as JSON to PATH ('-' for stdout)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a structured JSONL event trace of the run to PATH",
+    )
+    run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus-style metrics dump of the run to PATH",
+    )
 
     subparsers.add_parser(
         "demo",
         help="walk through the paper's toy example end to end",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a recorded JSONL trace"
+    )
+    trace_actions = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_actions.add_parser(
+        "summarize", help="print a human-readable trace report"
+    )
+    summarize.add_argument("path", help="JSONL trace file")
+    validate = trace_actions.add_parser(
+        "validate", help="check a trace against the event schema"
+    )
+    validate.add_argument("path", help="JSONL trace file")
+    validate.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also cross-check against a Prometheus metrics dump",
     )
 
     plot = subparsers.add_parser(
@@ -108,8 +148,41 @@ def _run_demo() -> None:
     print(f"\nFinal crowdsourced skyline: {{{labels}}} — Example 2.")
 
 
+def _run_trace_command(args) -> int:
+    """Execute ``crowdsky trace summarize|validate``."""
+    from repro.obs.exporters import parse_prometheus_text
+    from repro.obs.schema import check_metrics_consistency, validate_events
+
+    try:
+        events = read_trace_jsonl(args.path)
+    except (OSError, TraceSchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "summarize":
+        print(summarize_trace(events))
+        return 0
+
+    errors = validate_events(events)
+    if args.metrics is not None:
+        try:
+            with open(args.metrics) as handle:
+                values = parse_prometheus_text(handle.read())
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        errors += check_metrics_consistency(events, values)
+    if errors:
+        for problem in errors:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(events)} records pass schema validation")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    configure_logging(level_from_env())
     try:
         return _dispatch(_build_parser().parse_args(argv))
     except BrokenPipeError:
@@ -133,26 +206,37 @@ def _dispatch(args) -> int:
         _run_demo()
         return 0
 
+    if args.command == "trace":
+        return _run_trace_command(args)
+
     ids = (
         available_experiments()
         if args.experiment == "all"
         else [args.experiment]
     )
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    observing = (
+        observe(trace_path=trace_path, metrics_path=metrics_path)
+        if trace_path or metrics_path
+        else nullcontext()
+    )
     results = []
-    for experiment_id in ids:
-        try:
-            result = run_experiment(experiment_id, scale=args.scale)
-        except ExperimentError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        results.append(result)
-        if args.command == "plot":
-            from repro.experiments.plots import chart_for_experiment
+    with observing:
+        for experiment_id in ids:
+            try:
+                result = run_experiment(experiment_id, scale=args.scale)
+            except ExperimentError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            results.append(result)
+            if args.command == "plot":
+                from repro.experiments.plots import chart_for_experiment
 
-            print(chart_for_experiment(result))
-        else:
-            print(format_table(result))
-        print()
+                print(chart_for_experiment(result))
+            else:
+                print(format_table(result))
+            print()
 
     if args.command == "run" and args.json is not None:
         payload = json.dumps(

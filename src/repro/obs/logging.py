@@ -1,0 +1,96 @@
+"""Stdlib logging for the ``repro.*`` namespace.
+
+The library logs under the ``repro`` logger hierarchy and, library-style,
+never configures handlers on import — a :class:`logging.NullHandler`
+keeps it silent until an application opts in. Call
+:func:`configure_logging` (the CLI does) to attach a stderr handler; the
+level defaults to the ``REPRO_LOG_LEVEL`` environment variable
+(``DEBUG`` / ``INFO`` / ``WARNING`` / ``ERROR`` / ``CRITICAL`` or a
+number), falling back to ``WARNING``.
+
+Usage::
+
+    from repro.obs.logging import get_logger
+    log = get_logger(__name__)          # -> logger "repro.crowd.platform"
+    log.debug("round %d: %d questions", round_number, n)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, TextIO
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Environment variable consulted for the default level.
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+#: Format used by :func:`configure_logging`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger inside the ``repro.*`` namespace.
+
+    Accepts a bare suffix (``"crowd"``), a module ``__name__`` that
+    already starts with ``repro`` (used as-is), or ``""`` for the root
+    library logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def level_from_env(default: int = logging.WARNING) -> int:
+    """Resolve ``REPRO_LOG_LEVEL`` to a numeric level."""
+    raw = os.environ.get(LEVEL_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw.upper())
+    if isinstance(resolved, int):
+        return resolved
+    return default
+
+
+def configure_logging(
+    level: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Parameters
+    ----------
+    level:
+        Numeric level; defaults to :func:`level_from_env`.
+    stream:
+        Destination (default ``sys.stderr``).
+    force:
+        Replace previously attached stream handlers instead of keeping
+        the first configuration.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level if level is not None else level_from_env())
+    existing = [
+        handler for handler in logger.handlers
+        if isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+    ]
+    if existing and not force:
+        return logger
+    for handler in existing:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

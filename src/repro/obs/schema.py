@@ -1,0 +1,217 @@
+"""The trace event schema and its validator.
+
+Every record a :class:`~repro.obs.tracer.Tracer` emits has the shape::
+
+    {"ts": int >= 0, "kind": "event" | "span_start" | "span_end",
+     "name": str, "span": int | None, "parent": int | None,
+     "attrs": {...}}
+
+with ``ts`` non-decreasing across the trace and span start/end records
+properly paired. :data:`EVENT_ATTRS` fixes the required attributes of
+every known event name (see ``docs/observability.md`` for prose); the
+validator checks structure always and attribute types for known names.
+
+Use :func:`validate_events` on in-memory records,
+:func:`validate_jsonl` on a persisted trace, and
+:func:`check_metrics_consistency` to cross-check a trace against a
+Prometheus dump of the same run (per-round question counts must sum to
+the ``crowdsky_questions_asked_total`` counter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.exceptions import TraceSchemaError
+from repro.obs import metrics as metric_names
+from repro.obs.exporters import read_trace_jsonl
+
+#: Schema version persisted in docs; bump when the shape changes.
+TRACE_SCHEMA_VERSION = 1
+
+KINDS = frozenset({"event", "span_start", "span_end"})
+
+#: Required attributes (name -> type or tuple of accepted types) per
+#: known event name. Unknown names pass structural validation only.
+EVENT_ATTRS: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "crowd.round": {
+        "round": (int,),
+        "questions": (int,),
+        "assignments": (int,),
+        "retried": (int,),
+        "format": (str,),
+    },
+    "crowd.batch": {
+        "requested": (int,),
+        "fresh": (int,),
+        "cached": (int,),
+        "format": (str,),
+    },
+    "crowd.vote": {"question": (list,), "vote": (str, int)},
+    "crowd.estimate": {"question": (list,), "value": (int, float)},
+    "crowd.fault": {"question": (list,), "fault": (str,)},
+    "crowd.retry": {
+        "question": (list,),
+        "attempt": (int,),
+        "backoff": (int,),
+    },
+    "crowd.unresolved": {"question": (list,), "reason": (str,)},
+    "crowd.budget": {
+        "budget": (int,),
+        "spent": (int,),
+        "requested": (int,),
+        "strict": (bool,),
+    },
+    "engine.batch": {
+        "pairs": (int,),
+        "multiway": (int,),
+        "questions": (int,),
+    },
+    "engine.tuple": {"t": (int,), "outcome": (str,)},
+    "engine.visible_seed": {"edges": (int,)},
+}
+
+
+def validate_events(
+    events: List[Dict[str, Any]], strict_names: bool = False
+) -> List[str]:
+    """Check a trace against the schema; returns a list of problems
+    (empty when valid).
+
+    ``strict_names`` additionally rejects event names outside
+    :data:`EVENT_ATTRS` (span names are free-form either way).
+    """
+    errors: List[str] = []
+    open_spans: Dict[int, str] = {}
+    last_ts = None
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = {"ts", "kind", "name", "span", "attrs"} - set(event)
+        if missing:
+            errors.append(f"{where}: missing keys {sorted(missing)}")
+            continue
+        ts, kind, name = event["ts"], event["kind"], event["name"]
+        span, attrs = event["span"], event["attrs"]
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: ts must be a non-negative integer")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where}: ts went backwards ({ts} < {last_ts})")
+        last_ts = ts
+        if kind not in KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: name must be a non-empty string")
+            continue
+        if not isinstance(attrs, dict):
+            errors.append(f"{where}: attrs must be an object")
+            continue
+
+        if kind == "span_start":
+            if not isinstance(span, int):
+                errors.append(f"{where}: span_start needs an integer span id")
+            elif span in open_spans:
+                errors.append(f"{where}: span {span} started twice")
+            else:
+                open_spans[span] = name
+        elif kind == "span_end":
+            if span not in open_spans:
+                errors.append(
+                    f"{where}: span_end for unknown/closed span {span!r}"
+                )
+            elif open_spans[span] != name:
+                errors.append(
+                    f"{where}: span {span} ends as {name!r} but started "
+                    f"as {open_spans[span]!r}"
+                )
+                del open_spans[span]
+            else:
+                del open_spans[span]
+        else:  # plain event
+            if span is not None and span not in open_spans:
+                errors.append(
+                    f"{where}: event references non-open span {span!r}"
+                )
+            required = EVENT_ATTRS.get(name)
+            if required is None:
+                if strict_names:
+                    errors.append(f"{where}: unknown event name {name!r}")
+                continue
+            for attr, types in required.items():
+                if attr not in attrs:
+                    errors.append(
+                        f"{where}: {name} missing attr {attr!r}"
+                    )
+                    continue
+                value = attrs[attr]
+                # bool is an int subclass; only accept it where declared.
+                if isinstance(value, bool) and bool not in types:
+                    errors.append(
+                        f"{where}: {name}.{attr} must be "
+                        f"{'/'.join(t.__name__ for t in types)}, got bool"
+                    )
+                elif not isinstance(value, types):
+                    errors.append(
+                        f"{where}: {name}.{attr} must be "
+                        f"{'/'.join(t.__name__ for t in types)}, "
+                        f"got {type(value).__name__}"
+                    )
+    for span, name in open_spans.items():
+        errors.append(f"span {span} ({name!r}) never ended")
+    return errors
+
+
+def validate_jsonl(path: str, strict_names: bool = False) -> List[str]:
+    """Validate a persisted JSONL trace; returns the problem list."""
+    return validate_events(read_trace_jsonl(path), strict_names)
+
+
+def trace_totals(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Headline totals recomputed from ``crowd.round`` events."""
+    rounds = [e for e in events if e.get("name") == "crowd.round"]
+    return {
+        "rounds": len(rounds),
+        "questions": sum(
+            e.get("attrs", {}).get("questions", 0) for e in rounds
+        ),
+        "retried": sum(
+            e.get("attrs", {}).get("retried", 0) for e in rounds
+        ),
+    }
+
+
+def check_metrics_consistency(
+    events: List[Dict[str, Any]], values: Mapping[str, float]
+) -> List[str]:
+    """Cross-check a trace against a metrics dump of the same run.
+
+    The per-round question counts and round count in the trace must sum
+    exactly to the exported ``crowdsky_questions_asked_total`` /
+    ``crowdsky_rounds_total`` counters.
+    """
+    totals = trace_totals(events)
+    errors: List[str] = []
+    for key, metric in (
+        ("questions", metric_names.QUESTIONS_ASKED),
+        ("rounds", metric_names.ROUNDS),
+    ):
+        exported = values.get(metric)
+        if exported is None:
+            errors.append(f"metrics dump is missing {metric}")
+        elif int(exported) != totals[key]:
+            errors.append(
+                f"trace {key} total {totals[key]} != exported "
+                f"{metric} {int(exported)}"
+            )
+    return errors
+
+
+def require_valid(events: List[Dict[str, Any]]) -> None:
+    """Raise :class:`TraceSchemaError` listing every problem found."""
+    errors = validate_events(events)
+    if errors:
+        raise TraceSchemaError("; ".join(errors))

@@ -1,0 +1,183 @@
+"""Zero-dependency structured event tracer.
+
+A :class:`Tracer` records an append-only list of *event records* — plain
+dicts, one per emission, ready for JSONL export::
+
+    {"ts": <int ns>, "kind": "event" | "span_start" | "span_end",
+     "name": <str>, "span": <int | None>, "parent": <int | None>,
+     "attrs": {...}}
+
+``ts`` is nanoseconds of monotonic time since the tracer was created
+(:func:`time.perf_counter_ns`), so traces are ordering- and
+duration-faithful but carry no wall-clock identity. Spans nest via
+:mod:`contextvars`: events emitted inside a ``with tracer.span(...)``
+block are stamped with the enclosing span's id, and nested spans record
+their parent — the context-local stack survives generators and
+``asyncio`` tasks.
+
+The module-level :data:`NOOP_TRACER` is the disabled singleton: every
+instrumentation site guards with ``tracer.enabled`` (or checks the
+observation, see :mod:`repro.obs`), so tracing costs one attribute read
+per emission site when observability is off.
+
+Determinism: span ids are a per-tracer counter and every attribute comes
+from the caller, so two runs with identical seeds produce identical
+event sequences *modulo the* ``ts`` *values* — the property the
+``obs``-marked tests pin down.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+#: Record kinds a tracer emits.
+EVENT = "event"
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+
+
+class Span:
+    """One traced region; use as a context manager.
+
+    Entering emits a ``span_start`` record and makes the span current
+    (events and child spans attach to it); exiting emits ``span_end``.
+    After exit, :attr:`duration_ns` / :attr:`duration_s` hold the
+    monotonic wall time spent inside.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "attrs", "span_id", "parent",
+        "start_ns", "end_ns", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent: Optional[int] = None
+        self.start_ns: Optional[int] = None
+        self.end_ns: Optional[int] = None
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        self.parent = tracer._current.get()
+        self.start_ns = tracer._now()
+        tracer._emit(
+            self.start_ns, SPAN_START, self.name, self.span_id,
+            self.parent, self.attrs,
+        )
+        self._token = tracer._current.set(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if self._token is not None:
+            tracer._current.reset(self._token)
+        self.end_ns = tracer._now()
+        tracer._emit(
+            self.end_ns, SPAN_END, self.name, self.span_id, self.parent,
+            {"error": True} if exc_type is not None else {},
+        )
+        return False
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        """Nanoseconds spent inside the span (None before exit)."""
+        if self.start_ns is None or self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Seconds spent inside the span (None before exit)."""
+        duration = self.duration_ns
+        return None if duration is None else duration / 1e9
+
+
+class Tracer:
+    """Collects structured events in memory (export via
+    :mod:`repro.obs.exporters`)."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns):
+        self._clock = clock
+        self._origin = clock()
+        self._counter = 0
+        self._current: contextvars.ContextVar[Optional[int]] = (
+            contextvars.ContextVar("repro_obs_span", default=None)
+        )
+        #: The recorded event dicts, in emission order.
+        self.events: List[Dict[str, Any]] = []
+
+    def _now(self) -> int:
+        return self._clock() - self._origin
+
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _emit(
+        self,
+        ts: int,
+        kind: str,
+        name: str,
+        span: Optional[int],
+        parent: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.events.append({
+            "ts": ts,
+            "kind": kind,
+            "name": name,
+            "span": span,
+            "parent": parent,
+            "attrs": attrs,
+        })
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit one point-in-time event under the current span."""
+        current = self._current.get()
+        self._emit(self._now(), EVENT, name, current, current, attrs)
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A nestable traced region; use as ``with tracer.span(...):``."""
+        return Span(self, name, attrs)
+
+
+class _NoOpSpan:
+    """Inert stand-in so ``with NOOP_TRACER.span(...) as s`` works."""
+
+    __slots__ = ()
+    duration_ns: Optional[int] = None
+    duration_s: Optional[float] = None
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NoOpTracer:
+    """Disabled tracer: every emission is a constant-time no-op."""
+
+    enabled = False
+    events: List[Dict[str, Any]] = []  # always empty; never appended to
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any) -> _NoOpSpan:
+        return _NOOP_SPAN
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+#: The disabled singleton installed when no observation is active.
+NOOP_TRACER = NoOpTracer()

@@ -1,0 +1,366 @@
+"""Observability layer: tracer, metrics, exporters, schema, logging.
+
+Covers:
+
+* tracer structure — span nesting, parent ids, event/span pairing —
+  checked against the trace schema validator,
+* the metrics registry (counters, gauges, labelled series, histograms)
+  and its Prometheus text round-trip,
+* the ``observe`` scope: trace/metrics files written, per-round question
+  counts in the trace summing exactly to the exported counter and to
+  ``CrowdStats`` (the acceptance identity),
+* results preferring the attached registry over legacy ``CrowdStats``
+  fields, and wall-clock stamping under an active trace,
+* seeded determinism: same seed + same fault plan => identical event
+  sequences modulo timestamps (Hypothesis, reusing ``tests/strategies``),
+* the no-op guarantee and an emission-overhead smoke test,
+* the stdlib-logging helper and the ``crowdsky trace`` CLI round-trip.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import pytest
+from hypothesis import given
+
+from repro.core.crowdsky import crowdsky
+from repro.core.parallel import parallel_sl
+from repro.core.result import CrowdSkylineResult
+from repro.crowd.faults import FaultPlan
+from repro.crowd.platform import CrowdStats, SimulatedCrowd
+from repro.data.toy import figure1_dataset
+from repro.exceptions import ObservabilityError, TraceSchemaError
+from repro.experiments.cli import main as cli_main
+from repro.obs import (
+    Observation,
+    Tracer,
+    current_observation,
+    install,
+    observe,
+    parse_prometheus_text,
+    read_trace_jsonl,
+    summarize_trace,
+    uninstall,
+    write_trace_jsonl,
+)
+from repro.obs import metrics as M
+from repro.obs.logging import (
+    LEVEL_ENV_VAR,
+    configure_logging,
+    get_logger,
+    level_from_env,
+)
+from repro.obs.schema import (
+    check_metrics_consistency,
+    trace_totals,
+    validate_events,
+    validate_jsonl,
+)
+from tests.strategies import (
+    ROBUSTNESS_SETTINGS,
+    fault_plans,
+    retry_policies,
+    small_crowd_relations,
+)
+
+pytestmark = pytest.mark.obs
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_nesting_and_event_attribution(self):
+        tracer = Tracer()
+        with tracer.span("outer", n=3) as outer:
+            tracer.event("hello", x=1)
+            with tracer.span("inner") as inner:
+                tracer.event("deep")
+        assert validate_events(tracer.events) == []
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds == [
+            "span_start", "event", "span_start", "event",
+            "span_end", "span_end",
+        ]
+        hello, deep = tracer.events[1], tracer.events[3]
+        assert hello["span"] == outer.span_id
+        assert deep["span"] == inner.span_id
+        start_inner = tracer.events[2]
+        assert start_inner["parent"] == outer.span_id
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_span_records_error_flag(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert tracer.events[-1]["attrs"] == {"error": True}
+        assert validate_events(tracer.events) == []
+
+    def test_timestamps_monotonic_and_relative(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.event("tick", i=i)
+        stamps = [e["ts"] for e in tracer.events]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_labels_value_and_total(self):
+        registry = M.MetricsRegistry()
+        registry.counter(M.FAULTS_INJECTED, kind="spam").inc()
+        registry.counter(M.FAULTS_INJECTED, kind="spam").inc(2)
+        registry.counter(M.FAULTS_INJECTED, kind="timeout").inc()
+        assert registry.value(M.FAULTS_INJECTED, kind="spam") == 3
+        assert registry.total(M.FAULTS_INJECTED) == 4
+
+    def test_histogram_buckets(self):
+        registry = M.MetricsRegistry()
+        hist = registry.histogram(
+            M.ROUND_SIZE, buckets=M.ROUND_SIZE_BUCKETS
+        )
+        for size in (1, 3, 3, 150):
+            hist.observe(size)
+        snapshot = registry.snapshot()
+        assert snapshot[M.ROUND_SIZE + "_count"] == 4
+        assert snapshot[M.ROUND_SIZE + "_sum"] == 157
+        assert snapshot[M.ROUND_SIZE + '_bucket{le="1.0"}'] == 1
+        assert snapshot[M.ROUND_SIZE + '_bucket{le="+Inf"}'] == 4
+
+    def test_prometheus_round_trip(self):
+        registry = M.MetricsRegistry()
+        registry.counter(M.QUESTIONS_ASKED).inc(17)
+        registry.counter(M.PHASE_SECONDS, phase="evaluate").inc(0.25)
+        registry.gauge(M.MEAN_VOTES_PER_QUESTION).set(5)
+        text = registry.to_prometheus()
+        assert "# TYPE crowdsky_questions_asked_total counter" in text
+        values = parse_prometheus_text(text)
+        assert values[M.QUESTIONS_ASKED] == 17
+        assert values[M.PHASE_SECONDS + '{phase="evaluate"}'] == 0.25
+        assert values[M.MEAN_VOTES_PER_QUESTION] == 5
+
+
+# ---------------------------------------------------------------------------
+# observe(): files, consistency, results
+# ---------------------------------------------------------------------------
+
+
+class TestObserve:
+    def test_disabled_by_default(self):
+        observation = current_observation()
+        assert not observation.enabled
+        result = crowdsky(figure1_dataset())
+        assert current_observation().tracer.events == []
+        assert result.wall_time_s is None
+        # run-local accounting is on regardless of the global switch
+        assert result.metrics is not None
+        assert result.metrics.total(M.QUESTIONS_ASKED) == (
+            result.stats.questions
+        )
+
+    def test_observed_run_writes_consistent_artifacts(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run.prom"
+        with observe(
+            trace_path=str(trace_path), metrics_path=str(metrics_path)
+        ) as observation:
+            result = crowdsky(figure1_dataset())
+        assert validate_jsonl(str(trace_path)) == []
+        events = read_trace_jsonl(str(trace_path))
+        totals = trace_totals(events)
+        # the acceptance identity: trace == exported counter == stats
+        assert totals["questions"] == result.stats.questions
+        assert totals["rounds"] == result.stats.rounds
+        values = parse_prometheus_text(metrics_path.read_text())
+        assert check_metrics_consistency(events, values) == []
+        assert values[M.QUESTIONS_ASKED] == result.stats.questions
+        # derived gauge finalized on exit
+        assert values[M.MEAN_VOTES_PER_QUESTION] == pytest.approx(
+            observation.metrics.total(M.WORKER_ASSIGNMENTS)
+            / result.stats.questions
+        )
+        assert result.wall_time_s is not None
+        assert f"wall={result.wall_time_s:.3f}s" in result.summary()
+        summary = summarize_trace(events)
+        assert "crowd.round" in summary and "phase.evaluate" in summary
+
+    def test_phase_seconds_accounted(self):
+        with observe() as observation:
+            parallel_sl(figure1_dataset())
+        phases = {
+            dict(series.labels).get("phase")
+            for series in observation.metrics.series()
+            if series.name == M.PHASE_SECONDS
+        }
+        assert {"build_context", "evaluate"} <= phases
+
+    def test_install_uninstall_lifo(self):
+        first, second = Observation(), Observation()
+        install(first)
+        install(second)
+        with pytest.raises(ObservabilityError):
+            uninstall(first)
+        uninstall(second)
+        uninstall(first)
+        assert not current_observation().enabled
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 0}\nnot json\n')
+        with pytest.raises(TraceSchemaError):
+            read_trace_jsonl(str(path))
+
+
+class TestResultReporting:
+    def test_summary_prefers_registry_over_stats(self):
+        registry = M.MetricsRegistry()
+        registry.counter(M.RETRIES).inc(4)
+        registry.counter(M.TIMEOUTS).inc(1)
+        result = CrowdSkylineResult(
+            skyline={0}, stats=CrowdStats(), metrics=registry
+        )
+        assert "retries=4 timeouts=1" in result.summary()
+
+    def test_faulted_run_reports_from_metrics(self):
+        toy = figure1_dataset()
+        crowd = SimulatedCrowd(
+            toy, seed=0,
+            faults=FaultPlan(hit_timeout_rate=0.3, seed=3),
+        )
+        result = crowdsky(toy, crowd=crowd)
+        assert result.metrics is crowd.metrics
+        assert result.metrics.total(M.FAULTS_INJECTED) == (
+            crowd.fault_stats.total_events()
+        )
+        if result.metrics.total(M.TIMEOUTS):
+            assert "timeouts=" in result.summary()
+            assert all("retried" in row for row in result.round_table(toy))
+
+
+# ---------------------------------------------------------------------------
+# Determinism and overhead
+# ---------------------------------------------------------------------------
+
+
+def _normalized(events):
+    return [
+        {key: value for key, value in event.items() if key != "ts"}
+        for event in events
+    ]
+
+
+class TestDeterminism:
+    @ROBUSTNESS_SETTINGS
+    @given(
+        relation=small_crowd_relations(),
+        plan_kwargs=fault_plans(),
+        policy=retry_policies(),
+    )
+    def test_same_seed_same_fault_plan_same_trace(
+        self, relation, plan_kwargs, policy
+    ):
+        traces = []
+        for _ in range(2):
+            crowd = SimulatedCrowd(
+                relation, seed=17,
+                faults=FaultPlan(**plan_kwargs), retry=policy,
+            )
+            with observe() as observation:
+                crowdsky(relation, crowd=crowd)
+            traces.append(_normalized(observation.tracer.events))
+        assert traces[0] == traces[1]
+
+
+class TestOverhead:
+    def test_noop_emission_is_cheap(self):
+        """Guarded emission (the hot-path pattern) must stay a constant
+        few attribute reads when observability is off."""
+        iterations = 200_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            observation = current_observation()
+            if observation.enabled:  # pragma: no cover - off in this test
+                observation.tracer.event("never")
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0  # generous: ~5µs per guarded site
+        assert current_observation().tracer.events == []
+
+
+# ---------------------------------------------------------------------------
+# Logging helper
+# ---------------------------------------------------------------------------
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("crowd").name == "repro.crowd"
+        assert get_logger("repro.crowd.platform").name == (
+            "repro.crowd.platform"
+        )
+
+    def test_level_from_env(self, monkeypatch):
+        monkeypatch.delenv(LEVEL_ENV_VAR, raising=False)
+        assert level_from_env() == logging.WARNING
+        monkeypatch.setenv(LEVEL_ENV_VAR, "debug")
+        assert level_from_env() == logging.DEBUG
+        monkeypatch.setenv(LEVEL_ENV_VAR, "15")
+        assert level_from_env() == 15
+        monkeypatch.setenv(LEVEL_ENV_VAR, "bogus")
+        assert level_from_env() == logging.WARNING
+
+    def test_configure_logging_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            configure_logging(logging.INFO)
+            configure_logging(logging.DEBUG)
+            streams = [
+                h for h in logger.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            logger.handlers = before
+            logger.setLevel(logging.NOTSET)
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_traced_run_validates_and_summarizes(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        metrics_path = str(tmp_path / "m.prom")
+        assert cli_main([
+            "run", "table3", "--scale", "smoke",
+            "--trace", trace_path, "--metrics", metrics_path,
+        ]) == 0
+        assert cli_main([
+            "trace", "validate", trace_path, "--metrics", metrics_path,
+        ]) == 0
+        assert "ok:" in capsys.readouterr().out
+        assert cli_main(["trace", "summarize", trace_path]) == 0
+        assert "== trace summary ==" in capsys.readouterr().out
+
+    def test_validate_flags_corrupted_trace(self, tmp_path, capsys):
+        tracer = Tracer()
+        tracer.event("crowd.round", round=1)  # missing required attrs
+        path = str(tmp_path / "bad.jsonl")
+        write_trace_jsonl(tracer.events, path)
+        assert cli_main(["trace", "validate", path]) == 1
+        assert "invalid:" in capsys.readouterr().err
