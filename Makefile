@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs bench bench-ci experiments experiments-paper examples trace-demo lint-clean
+.PHONY: install test test-robustness test-obs test-pref test-perf-core regen-golden closure-baseline bench bench-ci experiments experiments-paper examples trace-demo lint-clean
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -17,6 +17,25 @@ test-robustness:
 
 test-obs:
 	pytest tests/test_obs.py -m obs -q
+
+# Preference-closure suite: backend differential, golden counts,
+# coverage floor and the perf smoke.
+test-pref:
+	pytest -m pref -q
+
+# Assert the bitset closure backend is never slower than the reference.
+test-perf-core:
+	pytest tests/test_perf_core.py -m perf -q
+
+# Refresh tests/fixtures/golden_counts.json after an intentional
+# behaviour change (then commit the diff).
+regen-golden:
+	PYTHONPATH=src python -m tests.regen_golden
+
+# Refresh benchmarks/baselines/closure_n512.json after backend or
+# workload changes (then commit the diff).
+closure-baseline:
+	PYTHONPATH=src python benchmarks/record_closure_baseline.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -2,12 +2,18 @@
 
 These exercise the vectorized kernels that make Python-scale runs of the
 paper's grids feasible: the dominance matrix, the three skyline
-algorithms, skyline layers and the frequency oracle.
+algorithms, skyline layers and the frequency oracle — plus the
+transitive-closure workloads of ``closure_cases`` replayed against both
+preference backends (the committed speedup baseline lives in
+``benchmarks/baselines/closure_n512.json``; regenerate it with
+``python benchmarks/record_closure_baseline.py``).
 """
 
 import numpy as np
 import pytest
 
+from closure_cases import N as CLOSURE_N
+from closure_cases import WORKLOADS, run_workload
 from repro.skyline.bnl import bnl_skyline
 from repro.skyline.dnc import dnc_skyline
 from repro.skyline.dominance import dominance_matrix, skyline_mask
@@ -64,3 +70,16 @@ def test_frequency_matrix(benchmark, data):
     members = list(range(0, N, 10))
     table = benchmark(oracle.freq_matrix, members)
     assert table.shape == (len(members), len(members))
+
+
+@pytest.mark.parametrize("backend", ["reference", "bitset"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_closure_workload(benchmark, workload, backend):
+    """Replay one closure workload (n=512) against one backend.
+
+    The checksum covers every query result and accept/reject decision,
+    so the benchmark doubles as a cross-backend equivalence check.
+    """
+    ops = WORKLOADS[workload]
+    checksum = benchmark(run_workload, ops, CLOSURE_N, backend)
+    assert checksum == run_workload(ops, CLOSURE_N, "bitset")

@@ -1,0 +1,82 @@
+"""Record the closure-workload speedup baseline.
+
+Replays every ``closure_cases`` workload (n=512) against both
+preference backends, takes the median of repeated runs and writes
+``benchmarks/baselines/closure_n512.json``. The committed baseline
+documents the speedup the bitset backend is expected to sustain; the
+perf smoke test (``tests/test_perf_core.py``) re-checks a scaled-down
+version of the same invariant on every run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_closure_baseline.py
+
+Regenerate (and commit the diff) after intentional changes to either
+backend or to the workload definitions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from closure_cases import N, QUERIES_PER_ANSWER, WORKLOADS, run_workload
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "closure_n512.json"
+REPEATS = 7
+
+
+def _median_seconds(ops, backend: str) -> float:
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_workload(ops, N, backend)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main() -> None:
+    workloads = {}
+    total = {"reference": 0.0, "bitset": 0.0}
+    for name, ops in sorted(WORKLOADS.items()):
+        ref_cs = run_workload(ops, N, "reference")
+        bit_cs = run_workload(ops, N, "bitset")
+        if ref_cs != bit_cs:
+            raise SystemExit(f"backend checksums diverge on {name}")
+        ref = _median_seconds(ops, "reference")
+        bit = _median_seconds(ops, "bitset")
+        total["reference"] += ref
+        total["bitset"] += bit
+        workloads[name] = {
+            "ops": len(ops),
+            "reference_ms": round(ref * 1000, 2),
+            "bitset_ms": round(bit * 1000, 2),
+            "speedup": round(ref / bit, 2),
+        }
+        print(
+            f"{name:14s} ref={ref * 1000:8.1f}ms "
+            f"bitset={bit * 1000:8.1f}ms speedup={ref / bit:5.2f}x"
+        )
+    aggregate = round(total["reference"] / total["bitset"], 2)
+    print(f"aggregate speedup: {aggregate:.2f}x")
+    baseline = {
+        "n": N,
+        "queries_per_answer": QUERIES_PER_ANSWER,
+        "repeats": REPEATS,
+        "python": platform.python_version(),
+        "workloads": workloads,
+        "aggregate_speedup": aggregate,
+    }
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

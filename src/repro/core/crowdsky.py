@@ -26,6 +26,7 @@ from repro.core.engine import (
     ExecutionContext,
     ask_pair,
     build_context,
+    record_pref_stats,
     record_tuple,
     request_unresolved,
     tuple_trace,
@@ -34,6 +35,7 @@ from repro.core.preference import ContradictionPolicy
 from repro.core.result import CrowdSkylineResult
 from repro.core.tasks import TaskOutcome, TupleTask
 from repro.crowd.platform import SimulatedCrowd
+from repro.crowd.questions import Preference
 from repro.data.relation import Relation
 from repro.exceptions import BudgetExhaustedError
 from repro.obs import current_observation, phase, run_span
@@ -83,6 +85,13 @@ class CrowdSkyConfig:
         Probe with m-ary questions showing up to this many tuples at
         once (the §2.1 extension; effective with ``|AC| = 1``). The
         default 2 keeps the paper's pairwise format.
+    backend:
+        Preference-closure backend: ``'bitset'`` (incremental bitset
+        closure, the fast default) or ``'reference'`` (the original
+        set-based implementation). None defers to the
+        ``REPRO_PREF_BACKEND`` environment variable. Both backends
+        produce identical questions, rounds and skylines — the
+        differential suite pins them together.
     """
 
     pruning: PruningLevel = PruningLevel.P1_P2_P3
@@ -90,6 +99,7 @@ class CrowdSkyConfig:
     ac_round_robin: bool = False
     probe_ascending: bool = False
     multiway: int = 2
+    backend: Optional[str] = None
 
 
 def crowdsky(
@@ -130,6 +140,7 @@ def crowdsky(
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible_crowd,
+            backend=config.backend,
         )
         result = _run_serial(context, config)
     if span is not None:
@@ -183,6 +194,7 @@ def _run_budgeted(
             crowd,
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
+            backend=config.backend,
         )
     except BudgetExhaustedError:
         # Not even the degenerate-case preprocessing fit the budget. With
@@ -254,14 +266,22 @@ def _run_budgeted(
     # Default-skyline finalization for undecided tuples: keep them unless
     # a dominating-set member already dominates them in current knowledge
     # (any member counts — even a non-skyline one dominates t in A).
+    # All candidate pairs are settled against the closure in one batch.
+    finalize = context.prefs.resolve_pairs(
+        (s, t) for t in undecided for s in context.dominating[t]
+    )
     for t in undecided:
         dominated = any(
-            context.prefs.weakly_prefers_all(s, t)
+            all(
+                rel is not None and rel is not Preference.RIGHT
+                for rel in finalize[(s, t)]
+            )
             for s in context.dominating[t]
         )
         if not dominated:
             skyline.add(t)
 
+    record_pref_stats(context)
     return CrowdSkylineResult(
         skyline=skyline,
         stats=context.crowd.stats,
@@ -320,6 +340,7 @@ def _run_serial(
                 skyline.add(t)
             record_tuple(context, trace, t, task.outcome.value)
 
+    record_pref_stats(context)
     return CrowdSkylineResult(
         skyline=skyline,
         stats=context.crowd.stats,

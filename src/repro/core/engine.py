@@ -25,7 +25,12 @@ from repro.crowd.questions import (
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
 from repro.obs import current_observation, phase
-from repro.obs.metrics import QUESTIONS_SAVED_TRANSITIVITY, TUPLES_EVALUATED
+from repro.obs.metrics import (
+    CLOSURE_UPDATES,
+    PREF_CACHE_HITS,
+    QUESTIONS_SAVED_TRANSITIVITY,
+    TUPLES_EVALUATED,
+)
 from repro.skyline.dominating import (
     FrequencyOracle,
     dominating_sets,
@@ -120,13 +125,16 @@ def build_context(
     policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
     ac_round_robin: bool = False,
     visible_crowd: Optional[Iterable[int]] = None,
+    backend: Optional[str] = None,
 ) -> ExecutionContext:
     """Prepare the machine-side structures and run the degenerate-case
     preprocessing (Algorithm 1 lines 1-3).
 
     ``visible_crowd`` lists tuples whose crowd values are stored rather
     than missing (the §2.2 partial-incompleteness extension); their
-    mutual preferences are seeded into ``T`` for free.
+    mutual preferences are seeded into ``T`` for free. ``backend``
+    selects the preference-closure implementation (``'bitset'`` |
+    ``'reference'``; None = the ``REPRO_PREF_BACKEND`` default).
     """
     if relation.schema.num_crowd < 1:
         raise CrowdSkyError(
@@ -140,7 +148,9 @@ def build_context(
 
     with phase("build_context"):
         n = len(relation)
-        prefs = PreferenceSystem(n, relation.schema.num_crowd, policy)
+        prefs = PreferenceSystem(
+            n, relation.schema.num_crowd, policy, backend=backend
+        )
         if visible_crowd is not None:
             edges = seed_visible_preferences(prefs, relation, visible_crowd)
             observation = current_observation()
@@ -197,22 +207,14 @@ def _request_decided(
     For a Q(t) dominance check ``(s, t)``, one attribute preferring ``t``
     already rules out ``s ≺_A t``. For probe pairs the pair must be fully
     known or certainly incomparable (opposite strict preferences)."""
-    has_left = False
-    has_right = False
-    unknown = False
-    for graph in prefs.graphs:
-        rel = graph.relation(request.left, request.right)
-        if rel is None:
-            unknown = True
-        elif rel is Preference.LEFT:
-            has_left = True
-        elif rel is Preference.RIGHT:
-            has_right = True
+    rels = prefs.pair_relations(request.left, request.right)
+    has_left = Preference.LEFT in rels
+    has_right = Preference.RIGHT in rels
     if request.dominance_check and has_right:
         return True  # right (= t) strictly preferred somewhere: no dominance
     if has_left and has_right:
         return True  # certainly incomparable in AC
-    return not unknown
+    return None not in rels
 
 
 def _request_attributes(
@@ -277,6 +279,26 @@ def record_tuple(context: ExecutionContext, trace, t: int, outcome: str) -> None
     context.crowd.count_metric(TUPLES_EVALUATED, outcome=outcome)
     if trace is not None:
         trace.event("engine.tuple", t=t, outcome=outcome)
+
+
+def record_pref_stats(context: ExecutionContext) -> None:
+    """Export the preference system's closure/memo tallies as metrics.
+
+    Called once per run, right before the result is assembled — the
+    memo-hit and closure-update counters are cumulative, so a single
+    final increment keeps them cheap on the hot path.
+    """
+    prefs = context.prefs
+    backend = prefs.backend
+    if prefs.cache_hits:
+        context.crowd.count_metric(
+            PREF_CACHE_HITS, prefs.cache_hits, backend=backend
+        )
+    updates = prefs.closure_updates()
+    if updates:
+        context.crowd.count_metric(
+            CLOSURE_UPDATES, updates, backend=backend
+        )
 
 
 def apply_multiway_answers(
@@ -354,16 +376,29 @@ def ask_batch(
     prefs = context.prefs
     questions: List[PairwiseQuestion] = []
     multiway: List[MultiwayQuestion] = []
-    pairs = 0
+    pair_requests: List[PairRequest] = []
     for request in requests:
         if isinstance(request, MultiwayRequest):
             multiway.append(
                 MultiwayQuestion(request.candidates, request.attribute)
             )
-            continue
-        pairs += 1
-        attributes = _request_attributes(prefs, request)
-        if not request.force:
+        else:
+            pair_requests.append(request)
+    pairs = len(pair_requests)
+    # One closure pass settles the whole candidate round: every pair is
+    # resolved against the preference graphs at most once, however many
+    # requests in the batch repeat it.
+    resolved = prefs.resolve_pairs(
+        (request.left, request.right) for request in pair_requests
+    )
+    for request in pair_requests:
+        if request.force:
+            attributes: List[int] = list(range(prefs.num_attributes))
+        else:
+            rels = resolved[(request.left, request.right)]
+            attributes = [
+                j for j, rel in enumerate(rels) if rel is None
+            ]
             saved = prefs.num_attributes - len(attributes)
             if saved:
                 context.crowd.count_metric(

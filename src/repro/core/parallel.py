@@ -30,6 +30,7 @@ from repro.core.engine import (
     ExecutionContext,
     ask_batch,
     build_context,
+    record_pref_stats,
     record_tuple,
     request_unresolved,
     tuple_trace,
@@ -40,6 +41,7 @@ from repro.crowd.platform import SimulatedCrowd
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
 from repro.obs import phase, run_span
+from repro.skyline.dominating import bitset_of, dominating_bitsets
 from repro.skyline.layers import covering_graph_from_matrix
 
 
@@ -76,6 +78,7 @@ def _finalize(
 def _result(
     context: ExecutionContext, skyline: Set[int], algorithm: str
 ) -> CrowdSkylineResult:
+    record_pref_stats(context)
     return CrowdSkylineResult(
         skyline=skyline,
         stats=context.crowd.stats,
@@ -112,6 +115,7 @@ def parallel_dset(
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible_crowd,
+            backend=config.backend,
         )
 
         skyline: Set[int] = set()
@@ -150,25 +154,26 @@ def _disjoint_batches(
     complete_non_skyline: Set[int],
 ) -> List[List[int]]:
     """First-fit partition of a group into batches whose (pruned)
-    dominating sets are pairwise disjoint — the (C2) independence check."""
+    dominating sets are pairwise disjoint — the (C2) independence check.
+
+    Dominating sets are packed into int bitsets so each disjointness
+    test is one word-parallel AND instead of a set intersection."""
+    ds_bits = dominating_bitsets([context.dominating[t] for t in members])
+    pruned_mask = ~bitset_of(complete_non_skyline)
     batches: List[List[int]] = []
-    unions: List[Set[int]] = []
-    for t in members:
-        ds = {
-            s
-            for s in context.dominating[t]
-            if s not in complete_non_skyline
-        }
+    unions: List[int] = []
+    for t, ds in zip(members, ds_bits):
+        ds &= pruned_mask
         placed = False
-        for batch, union in zip(batches, unions):
+        for index, union in enumerate(unions):
             if not (ds & union):
-                batch.append(t)
-                union |= ds
+                batches[index].append(t)
+                unions[index] = union | ds
                 placed = True
                 break
         if not placed:
             batches.append([t])
-            unions.append(set(ds))
+            unions.append(ds)
     return batches
 
 
@@ -224,6 +229,7 @@ def parallel_sl(
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible_crowd,
+            backend=config.backend,
         )
 
         cover = covering_graph_from_matrix(context.matrix)

@@ -1,9 +1,9 @@
 """The preference graph ``T`` over crowd attributes (paper §3.3).
 
-Each crowd attribute maintains a :class:`PreferenceGraph`: nodes are
-tuples, an edge ``u → v`` records "``u`` preferred over ``v``", and
-reachability gives transitive preferences. Crowds may also answer
-"equally preferred"; tied tuples are merged into equivalence classes via
+Each crowd attribute maintains a preference graph: nodes are tuples, an
+edge ``u → v`` records "``u`` preferred over ``v``", and reachability
+gives transitive preferences. Crowds may also answer "equally
+preferred"; tied tuples are merged into equivalence classes via
 union-find, and edges connect class representatives.
 
 Noisy crowds can produce answers that contradict earlier (transitively
@@ -13,18 +13,59 @@ cycle. The paper does not discuss this case; the default
 the newcomer (first-arrival wins), and :attr:`ContradictionPolicy.RAISE`
 turns contradictions into errors for the perfect-crowd setting.
 
+Two interchangeable backends implement the graph:
+
+* :class:`ReferencePreferenceGraph` — the original per-node
+  ``Dict[int, Set[int]]`` adjacency with memoized DFS reachability.
+  Kept as the executable specification; its descendant cache is
+  invalidated *exactly* (only nodes whose reachable set can change).
+* :class:`BitsetPreferenceGraph` — reachability as Python-int bitsets
+  (one machine word per 64 tuples) with **incremental** transitive
+  closure maintenance on every edge insert and tie merge. Queries are
+  O(1) bit tests; updates touch only ancestors/descendants of the
+  mutated classes. This is the default production backend.
+
+Select the backend with the ``backend=`` constructor flag of
+:func:`PreferenceGraph` / :class:`PreferenceSystem`, or globally with
+the ``REPRO_PREF_BACKEND`` environment variable (``bitset`` |
+``reference``). The differential suite
+(``tests/test_preference_differential.py``) pins the two backends to
+bit-for-bit identical observable state.
+
 :class:`PreferenceSystem` bundles ``|AC|`` graphs and provides the
 AC-level dominance tests used by the pruning rules (Corollaries 1-2,
-Lemma 4).
+Lemma 4), now memoized per pair and exposed batch-wise through
+:meth:`PreferenceSystem.resolve_pairs` so schedulers can settle a whole
+candidate round in one closure pass.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Set
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.crowd.questions import Preference
-from repro.exceptions import PreferenceConflictError
+from repro.exceptions import CrowdSkyError, PreferenceConflictError
+
+#: Environment variable selecting the default preference backend.
+BACKEND_ENV_VAR = "REPRO_PREF_BACKEND"
+
+#: Recognised backend names.
+BACKEND_BITSET = "bitset"
+BACKEND_REFERENCE = "reference"
+
+
+def default_backend() -> str:
+    """The backend name selected by ``REPRO_PREF_BACKEND`` (default
+    ``bitset``)."""
+    name = os.environ.get(BACKEND_ENV_VAR, BACKEND_BITSET).strip().lower()
+    if name not in (BACKEND_BITSET, BACKEND_REFERENCE):
+        raise CrowdSkyError(
+            f"unknown preference backend {name!r} in ${BACKEND_ENV_VAR}; "
+            f"expected '{BACKEND_BITSET}' or '{BACKEND_REFERENCE}'"
+        )
+    return name
 
 
 class ContradictionPolicy(enum.Enum):
@@ -34,8 +75,25 @@ class ContradictionPolicy(enum.Enum):
     RAISE = "raise"
 
 
-class PreferenceGraph:
-    """Strict preferences + tie classes over ``n`` tuples, one attribute."""
+def _iter_bits(bits: int) -> Iterable[int]:
+    """Indices of the set bits of a Python-int bitset, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+class _BasePreferenceGraph:
+    """Shared union-find, answer folding and introspection.
+
+    Subclasses implement the reachability/closure layer through
+    ``_reaches``, ``_add_edge`` and ``_merge_closure`` hooks. All
+    observable state (relations, tie classes, rejected-answer counts,
+    direct edges) is backend-independent — the differential test suite
+    enforces this.
+    """
+
+    backend = "abstract"
 
     def __init__(
         self,
@@ -47,11 +105,13 @@ class PreferenceGraph:
         self._parent = list(range(n))
         self._out: Dict[int, Set[int]] = {}
         self._in: Dict[int, Set[int]] = {}
-        self._descendants: Dict[int, Set[int]] = {}
         self.rejected_answers = 0
-
-    def _invalidate(self) -> None:
-        self._descendants.clear()
+        #: Monotone mutation counter — lets :class:`PreferenceSystem`
+        #: invalidate its pair memo lazily instead of eagerly.
+        self.version = 0
+        #: Closure maintenance work (node-set updates) — exported as the
+        #: ``crowdsky_closure_updates_total`` observability counter.
+        self.closure_updates = 0
 
     # -- union-find ------------------------------------------------------
 
@@ -72,45 +132,39 @@ class PreferenceGraph:
         out = self._out.pop(drop, set())
         self._out.setdefault(keep, set()).update(out)
         for succ in out:
-            succs_in = self._in.get(succ)
-            if succs_in is not None:
-                succs_in.discard(drop)
-                succs_in.add(keep)
+            # every edge target has an _in entry by construction
+            succs_in = self._in[succ]
+            succs_in.discard(drop)
+            succs_in.add(keep)
         incoming = self._in.pop(drop, set())
         self._in.setdefault(keep, set()).update(incoming)
         for pred in incoming:
-            preds_out = self._out.get(pred)
-            if preds_out is not None:
-                preds_out.discard(drop)
-                preds_out.add(keep)
+            preds_out = self._out[pred]
+            preds_out.discard(drop)
+            preds_out.add(keep)
         self._out.get(keep, set()).discard(keep)
         self._in.get(keep, set()).discard(keep)
-        self._invalidate()
+        self._merge_closure(keep, drop)
         return keep
 
-    # -- reachability ----------------------------------------------------
+    # -- closure hooks (backend-specific) --------------------------------
 
     def _reaches(self, source: int, target: int) -> bool:
-        """Is ``source ≺ target`` derivable (transitively)?
+        """Is ``source ≺ target`` derivable (transitively)? Arguments are
+        class representatives."""
+        raise NotImplementedError
 
-        Descendant sets are memoized per representative and invalidated
-        on every mutation — pruning performs many reachability queries
-        between consecutive answers.
-        """
-        if source == target:
-            return False
-        cached = self._descendants.get(source)
-        if cached is None:
-            cached = set()
-            stack = [source]
-            while stack:
-                node = stack.pop()
-                for succ in self._out.get(node, ()):
-                    if succ not in cached:
-                        cached.add(succ)
-                        stack.append(succ)
-            self._descendants[source] = cached
-        return target in cached
+    def _add_edge(self, src: int, dst: int) -> None:
+        """Insert the direct edge ``src → dst`` (representatives, not
+        previously related) and update the closure."""
+        raise NotImplementedError
+
+    def _merge_closure(self, keep: int, drop: int) -> None:
+        """Fold class ``drop`` into ``keep`` in the closure structures.
+
+        Called after the adjacency rewiring of a tie merge; the two
+        classes were not previously related in either direction."""
+        raise NotImplementedError
 
     # -- public API ------------------------------------------------------
 
@@ -150,6 +204,7 @@ class PreferenceGraph:
                     f"derived relation {known.value}"
                 )
             return False
+        self.version += 1
         if answer is Preference.EQUAL:
             self._union(u, v)
             return True
@@ -159,7 +214,7 @@ class PreferenceGraph:
             src, dst = self._find(v), self._find(u)
         self._out.setdefault(src, set()).add(dst)
         self._in.setdefault(dst, set()).add(src)
-        self._invalidate()
+        self._add_edge(src, dst)
         return True
 
     def edges(self) -> List[tuple]:
@@ -173,12 +228,232 @@ class PreferenceGraph:
         return self._find(u)
 
 
+class ReferencePreferenceGraph(_BasePreferenceGraph):
+    """The original set-based backend — kept as executable specification.
+
+    Descendant sets are memoized per representative. Invalidation is
+    *exact*: a mutation of class ``r`` only clears cached sets that can
+    actually change — ``r``'s own and those of nodes already reaching
+    ``r`` (historically a single ``add_edge`` cleared every cached set,
+    which made closure maintenance quadratic-plus on long runs).
+    """
+
+    backend = BACKEND_REFERENCE
+
+    def __init__(
+        self,
+        n: int,
+        policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ):
+        super().__init__(n, policy)
+        self._descendants: Dict[int, Set[int]] = {}
+
+    def _invalidate(self, *roots: int) -> None:
+        """Drop cached descendant sets affected by a mutation of
+        ``roots``: the roots' own caches plus any cache containing a
+        root (i.e. of a node that reaches it)."""
+        if not self._descendants:
+            return
+        affected = set(roots)
+        self.closure_updates += 1
+        self._descendants = {
+            node: cached
+            for node, cached in self._descendants.items()
+            if node not in affected and not (affected & cached)
+        }
+
+    def _reaches(self, source: int, target: int) -> bool:
+        if source == target:
+            return False
+        cached = self._descendants.get(source)
+        if cached is None:
+            cached = set()
+            stack = [source]
+            while stack:
+                node = stack.pop()
+                for succ in self._out.get(node, ()):
+                    if succ not in cached:
+                        cached.add(succ)
+                        stack.append(succ)
+            self._descendants[source] = cached
+        return target in cached
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        # Only src itself and nodes already reaching src gain
+        # descendants; dst's reachable set is unchanged.
+        self._invalidate(src)
+
+    def _merge_closure(self, keep: int, drop: int) -> None:
+        self._invalidate(keep, drop)
+
+    def descendants(self, u: int) -> Set[int]:
+        """Representatives strictly below ``u``'s class (computed or
+        cached)."""
+        root = self._find(u)
+        self._reaches(root, -1)  # force/refresh the cache
+        return set(self._descendants[root])
+
+
+class BitsetPreferenceGraph(_BasePreferenceGraph):
+    """Bitset-backed closure with incremental maintenance.
+
+    Per class representative ``r`` the graph stores three Python-int
+    bitsets over *original tuple indices* (so membership tests never
+    need representative mapping):
+
+    * ``_cls[r]`` — members of the tie class,
+    * ``_desc[r]`` — every tuple in a class strictly below ``r``,
+    * ``_anc[r]`` — every tuple in a class strictly above ``r``.
+
+    ``add_edge(u, v)`` ORs ``below(v)`` into every class above-or-equal
+    ``u`` and ``above(u)`` into every class below-or-equal ``v`` — the
+    classic incremental-closure update, word-parallel on 64 tuples at a
+    time. Tie merges union the two classes' bitsets and propagate the
+    same way. Queries are single shift-and-mask bit tests.
+    """
+
+    backend = BACKEND_BITSET
+
+    def __init__(
+        self,
+        n: int,
+        policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ):
+        super().__init__(n, policy)
+        # Dense list storage: the hot update loops index by tuple id,
+        # and a list subscript skips the dict hash entirely.
+        self._desc: List[int] = [0] * n
+        self._anc: List[int] = [0] * n
+        self._cls: List[int] = [1 << i for i in range(n)]
+        # Bit i set iff i is currently a class representative.
+        self._reps_mask = (1 << n) - 1 if n else 0
+
+    # -- bitset accessors ------------------------------------------------
+
+    def _cls_bits(self, rep: int) -> int:
+        return self._cls[rep]
+
+    def descendants_bits(self, u: int) -> int:
+        """Bitset of tuples in classes strictly below ``u``'s class."""
+        return self._desc[self._find(u)]
+
+    def ancestors_bits(self, u: int) -> int:
+        """Bitset of tuples in classes strictly above ``u``'s class."""
+        return self._anc[self._find(u)]
+
+    def tie_class_bits(self, u: int) -> int:
+        """Bitset of the members of ``u``'s tie class."""
+        return self._cls_bits(self._find(u))
+
+    # -- closure hooks ---------------------------------------------------
+
+    def _reaches(self, source: int, target: int) -> bool:
+        return bool(self._desc[source] >> target & 1)
+
+    def _propagate(self, above: int, below: int, gain_below: int,
+                   gain_above: int) -> None:
+        """OR ``gain_below`` into every class above and ``gain_above``
+        into every class below (the incremental-closure sweep).
+
+        The bit-extraction loops are inlined — a generator here costs a
+        frame resume per representative, which dominates the whole
+        update at chain-shaped workloads.
+        """
+        desc = self._desc
+        anc = self._anc
+        up = above & self._reps_mask
+        down = below & self._reps_mask
+        bits = up
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            desc[low.bit_length() - 1] |= gain_below
+        bits = down
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            anc[low.bit_length() - 1] |= gain_above
+        # O(1) accounting: one closure entry per representative swept.
+        self.closure_updates += bin(up).count("1") + bin(down).count("1")
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        below = self._desc[dst] | self._cls[dst]
+        above = self._anc[src] | self._cls[src]
+        self._propagate(above, below, below, above)
+
+    def _merge_closure(self, keep: int, drop: int) -> None:
+        members = self._cls[keep] | self._cls[drop]
+        below = self._desc[keep] | self._desc[drop]
+        above = self._anc[keep] | self._anc[drop]
+        self._cls[keep] = members
+        self._desc[keep] = below
+        self._anc[keep] = above
+        self._cls[drop] = 0
+        self._desc[drop] = 0
+        self._anc[drop] = 0
+        self._reps_mask &= ~(1 << drop)
+        self._propagate(above, below, below | members, above | members)
+
+    # -- fast queries ----------------------------------------------------
+
+    def relation(self, u: int, v: int) -> Optional[Preference]:
+        ru = self._find(u)
+        if ru == self._find(v):
+            return Preference.EQUAL
+        # Closure bitsets carry member (not representative) indices, so
+        # test v / u directly.
+        if self._desc[ru] >> v & 1:
+            return Preference.LEFT
+        if self._anc[ru] >> v & 1:
+            return Preference.RIGHT
+        return None
+
+
+#: Backend name → graph class.
+GRAPH_BACKENDS = {
+    BACKEND_BITSET: BitsetPreferenceGraph,
+    BACKEND_REFERENCE: ReferencePreferenceGraph,
+}
+
+
+def PreferenceGraph(
+    n: int,
+    policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    backend: Optional[str] = None,
+):
+    """Build a preference graph with the selected backend.
+
+    ``backend`` is ``'bitset'`` or ``'reference'``; None falls back to
+    the ``REPRO_PREF_BACKEND`` environment variable, then ``'bitset'``.
+    (Factory function — kept callable like the historical class so
+    existing ``PreferenceGraph(n)`` call sites are unaffected.)
+    """
+    name = backend if backend is not None else default_backend()
+    try:
+        cls = GRAPH_BACKENDS[name]
+    except KeyError:
+        raise CrowdSkyError(
+            f"unknown preference backend {name!r}; expected "
+            f"'{BACKEND_BITSET}' or '{BACKEND_REFERENCE}'"
+        ) from None
+    return cls(n, policy)
+
+
+#: A pair's derivable relation on every crowd attribute (None = unknown).
+PairRelations = Tuple[Optional[Preference], ...]
+
+
 class PreferenceSystem:
-    """One :class:`PreferenceGraph` per crowd attribute.
+    """One preference graph per crowd attribute.
 
     Provides the AC-level predicates used by the pruning machinery. All
     predicates are *knowledge-relative*: they return what is currently
     derivable from answered questions, never consulting latent values.
+
+    Per-pair relation vectors are memoized; the memo is invalidated
+    lazily via the graphs' mutation counters, so bursts of dominance
+    tests between crowd answers (``sky_ac``, probing, Q(t) checks) hit
+    the closure at most once per pair.
     """
 
     def __init__(
@@ -186,20 +461,75 @@ class PreferenceSystem:
         n: int,
         num_attributes: int,
         policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+        backend: Optional[str] = None,
     ):
         if num_attributes < 1:
             raise ValueError("need at least one crowd attribute")
         self._n = n
-        self.graphs = [PreferenceGraph(n, policy) for _ in range(num_attributes)]
+        self.backend = (
+            backend if backend is not None else default_backend()
+        )
+        self.graphs = [
+            PreferenceGraph(n, policy, backend=self.backend)
+            for _ in range(num_attributes)
+        ]
+        self._memo: Dict[Tuple[int, int], PairRelations] = {}
+        self._memo_version = 0
+        #: Pair lookups answered from the memo — exported as the
+        #: ``crowdsky_pref_cache_hits_total`` observability counter.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def num_attributes(self) -> int:
         """``|AC|``."""
         return len(self.graphs)
 
+    # -- memoized pair resolution ---------------------------------------
+
+    def _current_version(self) -> int:
+        return sum(graph.version for graph in self.graphs)
+
+    def pair_relations(self, u: int, v: int) -> PairRelations:
+        """Derivable relations of ``(u, v)`` on every crowd attribute,
+        memoized until the next accepted answer."""
+        version = self._current_version()
+        if version != self._memo_version:
+            self._memo.clear()
+            self._memo_version = version
+        key = (u, v)
+        rels = self._memo.get(key)
+        if rels is not None:
+            self.cache_hits += 1
+            return rels
+        self.cache_misses += 1
+        rels = tuple(graph.relation(u, v) for graph in self.graphs)
+        self._memo[key] = rels
+        self._memo[(v, u)] = tuple(
+            rel.flipped() if rel is not None else None for rel in rels
+        )
+        return rels
+
+    def resolve_pairs(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], PairRelations]:
+        """Settle many pairs in one closure pass.
+
+        Returns ``{(u, v): per-attribute relations}`` for every distinct
+        input pair. Schedulers use this to test a whole candidate round
+        (batch building, budget finalization) against the closure at
+        once instead of re-querying pair by pair.
+        """
+        return {
+            pair: self.pair_relations(pair[0], pair[1])
+            for pair in dict.fromkeys(pairs)
+        }
+
+    # -- AC-level predicates --------------------------------------------
+
     def relation(self, u: int, v: int, attribute: int) -> Optional[Preference]:
         """Derivable relation on one crowd attribute."""
-        return self.graphs[attribute].relation(u, v)
+        return self.pair_relations(u, v)[attribute]
 
     def add_answer(
         self, u: int, v: int, attribute: int, answer: Preference
@@ -210,17 +540,18 @@ class PreferenceSystem:
     def unknown_attributes(self, u: int, v: int) -> List[int]:
         """Crowd attributes on which ``(u, v)`` is not yet derivable."""
         return [
-            j for j, graph in enumerate(self.graphs) if not graph.knows(u, v)
+            j
+            for j, rel in enumerate(self.pair_relations(u, v))
+            if rel is None
         ]
 
     def fully_known(self, u: int, v: int) -> bool:
         """Whether the pair is derivable on every crowd attribute."""
-        return not self.unknown_attributes(u, v)
+        return None not in self.pair_relations(u, v)
 
     def weakly_prefers_all(self, u: int, v: int) -> bool:
         """``u ⪯_AC v`` derivable: on every attribute ``u ≺ v`` or tie."""
-        for graph in self.graphs:
-            rel = graph.relation(u, v)
+        for rel in self.pair_relations(u, v):
             if rel is None or rel is Preference.RIGHT:
                 return False
         return True
@@ -229,8 +560,7 @@ class PreferenceSystem:
         """``u ≺_AC v`` derivable: weakly preferred everywhere, strictly
         somewhere."""
         strict = False
-        for graph in self.graphs:
-            rel = graph.relation(u, v)
+        for rel in self.pair_relations(u, v):
             if rel is None or rel is Preference.RIGHT:
                 return False
             if rel is Preference.LEFT:
@@ -241,14 +571,13 @@ class PreferenceSystem:
         """``u ≺_A v`` is already ruled out: some crowd attribute is
         known to strictly prefer ``v``."""
         return any(
-            graph.relation(u, v) is Preference.RIGHT
-            for graph in self.graphs
+            rel is Preference.RIGHT for rel in self.pair_relations(u, v)
         )
 
     def ac_equal(self, u: int, v: int) -> bool:
         """``u =_AC v`` derivable on every crowd attribute."""
         return all(
-            graph.relation(u, v) is Preference.EQUAL for graph in self.graphs
+            rel is Preference.EQUAL for rel in self.pair_relations(u, v)
         )
 
     def sky_ac(self, members: Sequence[int]) -> List[int]:
@@ -259,22 +588,60 @@ class PreferenceSystem:
         tied twin answers the same questions, so asking both is
         redundant. Order of the survivors follows ``members``.
         """
+        if len(members) < 2:
+            return list(members)
+        if self.num_attributes == 1 and isinstance(
+            self.graphs[0], BitsetPreferenceGraph
+        ):
+            return self._sky_ac_bitset(members)
         survivors: List[int] = []
         for v in members:
             dominated = False
             for u in members:
                 if u == v:
                     continue
-                if self.ac_dominates(u, v):
-                    dominated = True
-                    break
-                if self.ac_equal(u, v) and u < v:
-                    dominated = True
-                    break
+                rels = self.pair_relations(u, v)
+                if all(
+                    rel is not None and rel is not Preference.RIGHT
+                    for rel in rels
+                ):
+                    if any(rel is Preference.LEFT for rel in rels):
+                        dominated = True  # u ≺_AC v
+                        break
+                    if u < v:
+                        dominated = True  # full tie: keep lowest index
+                        break
             if not dominated:
                 survivors.append(v)
+        return survivors
+
+    def _sky_ac_bitset(self, members: Sequence[int]) -> List[int]:
+        """Single-attribute fast path: one ancestor-mask test per member.
+
+        With ``|AC| = 1``, ``u ≺_AC v`` is plain reachability, so ``v``
+        survives iff no other member sits strictly above it and no
+        lower-indexed member shares its tie class — three bitset ANDs
+        per member instead of ``O(k)`` pair queries.
+        """
+        graph = self.graphs[0]
+        member_mask = 0
+        for m in members:
+            member_mask |= 1 << m
+        survivors: List[int] = []
+        for v in members:
+            others = member_mask & ~(1 << v)
+            if graph.ancestors_bits(v) & others:
+                continue  # some member strictly preferred over v
+            tied = graph.tie_class_bits(v) & others
+            if tied and (tied & ((1 << v) - 1)):
+                continue  # a lower-indexed fully-tied twin is kept
+            survivors.append(v)
         return survivors
 
     def total_rejected(self) -> int:
         """Total contradicted answers across all attributes."""
         return sum(graph.rejected_answers for graph in self.graphs)
+
+    def closure_updates(self) -> int:
+        """Total closure-maintenance updates across all attributes."""
+        return sum(graph.closure_updates for graph in self.graphs)

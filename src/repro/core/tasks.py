@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple as TupleT
 
 from repro.core.preference import PreferenceSystem
+from repro.crowd.questions import Preference
 from repro.skyline.dominating import FrequencyOracle
 
 
@@ -185,17 +186,23 @@ class TupleTask:
     def _resolve_probe_pair(self, u: int, v: int) -> bool:
         """Try to settle a probe pair from current knowledge.
 
-        Returns True when the pair is settled (and removed)."""
-        if self._prefs.ac_dominates(u, v):
-            self._remove_member(v)
-            return True
-        if self._prefs.ac_dominates(v, u):
-            self._remove_member(u)
-            return True
-        if self._prefs.ac_equal(u, v):
-            self._remove_member(max(u, v))
-            return True
-        if self._prefs.fully_known(u, v):
+        One pair-relations snapshot answers all four predicates
+        (dominates either way, fully tied, fully known) in a single
+        closure pass. Returns True when the pair is settled (and
+        removed)."""
+        rels = self._prefs.pair_relations(u, v)
+        if None not in rels:
+            left = Preference.LEFT in rels
+            right = Preference.RIGHT in rels
+            if left and not right:
+                self._remove_member(v)  # u ≺_AC v
+                return True
+            if right and not left:
+                self._remove_member(u)  # v ≺_AC u
+                return True
+            if not left and not right:
+                self._remove_member(max(u, v))  # fully tied twins
+                return True
             # Known but incomparable across crowd attributes (|AC| > 1):
             # neither member prunes the other; drop the pair.
             self._probe_pairs = [
@@ -288,15 +295,20 @@ class TupleTask:
                 self._requested.add(s)
                 return PairRequest(s, self.t, force=True,
                                    dominance_check=True)
-            if self._prefs.weakly_prefers_all(s, self.t):
-                # s ≺_AK t and s ⪯_AC t ⇒ s ≺_A t: t is a complete
-                # non-skyline tuple (Definition 4) — the remaining
-                # questions of Q(t) are unnecessary in every variant.
+            rels = self._prefs.pair_relations(s, self.t)
+            if all(
+                rel is not None and rel is not Preference.RIGHT
+                for rel in rels
+            ):
+                # s ⪯_AC t derivable; with s ≺_AK t this gives s ≺_A t:
+                # t is a complete non-skyline tuple (Definition 4) — the
+                # remaining questions of Q(t) are unnecessary in every
+                # variant.
                 self.outcome = TaskOutcome.NON_SKYLINE
                 self.state = TaskState.DONE
                 break
-            if self._prefs.fully_known(s, self.t) or (
-                self._use_p2 and self._prefs.cannot_dominate(s, self.t)
+            if None not in rels or (
+                self._use_p2 and Preference.RIGHT in rels
             ):
                 # Fully answered, or dominance already ruled out by a
                 # partial answer (e.g. from round-robin asking) — either

@@ -37,6 +37,12 @@ CACHE_HITS = "crowdsky_cache_hits_total"
 #: Attribute-questions answerable from the preference graph (directly or
 #: via transitivity) without asking the crowd.
 QUESTIONS_SAVED_TRANSITIVITY = "crowdsky_questions_saved_transitivity_total"
+#: Pair-relation lookups answered from the preference system's memo
+#: (no closure query needed), labelled by ``backend``.
+PREF_CACHE_HITS = "crowdsky_pref_cache_hits_total"
+#: Incremental transitive-closure maintenance updates (per-node set or
+#: bitset writes), labelled by ``backend``.
+CLOSURE_UPDATES = "crowdsky_closure_updates_total"
 #: Question re-posts after an injected fault.
 RETRIES = "crowdsky_retries_total"
 #: Missed deadlines: expired HITs plus per-question retry deadlines.
@@ -71,6 +77,10 @@ DEFAULT_HELP: Dict[str, str] = {
     CACHE_HITS: "Questions served from the platform answer cache",
     QUESTIONS_SAVED_TRANSITIVITY:
         "Attribute-questions derived from the preference graph for free",
+    PREF_CACHE_HITS:
+        "Pair-relation lookups served from the preference-system memo",
+    CLOSURE_UPDATES:
+        "Transitive-closure maintenance updates in the preference graphs",
     RETRIES: "Question re-posts after an injected fault",
     TIMEOUTS: "Expired HITs plus missed per-question retry deadlines",
     BACKOFF_ROUNDS: "Idle rounds spent waiting out retry backoff",

@@ -32,6 +32,26 @@ def evaluation_order(dominating: List[Set[int]]) -> List[int]:
     return sorted(range(len(dominating)), key=lambda t: (len(dominating[t]), t))
 
 
+def bitset_of(indices) -> int:
+    """Pack an index collection into a Python-int bitset."""
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
+
+
+def dominating_bitsets(dominating: List[Set[int]]) -> List[int]:
+    """``DS(t)`` sets packed as Python-int bitsets.
+
+    The closure machinery and the parallel schedulers intersect
+    dominating sets constantly; a bitset representation turns those
+    intersections into single word-parallel AND operations (64 tuples
+    per machine word) — the same representation
+    :class:`repro.core.preference.BitsetPreferenceGraph` uses.
+    """
+    return [bitset_of(members) for members in dominating]
+
+
 def pair_frequency(matrix: np.ndarray, u: int, v: int) -> int:
     """``freq(u, v)`` — tuples dominated by both ``u`` and ``v`` in AK."""
     return int(np.count_nonzero(matrix[u] & matrix[v]))

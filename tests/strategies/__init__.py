@@ -4,6 +4,7 @@ Re-exports commonly used strategies for convenience::
 
     from tests.strategies import fault_plans, lossy_fault_plans, \
         retry_policies, small_crowd_relations, ROBUSTNESS_SETTINGS
+    from tests.strategies import answer_sequences, small_relations
 """
 
 from tests.strategies.faults import (
@@ -12,12 +13,23 @@ from tests.strategies.faults import (
     retry_policies,
     small_crowd_relations,
 )
-from tests.strategies.settings import ROBUSTNESS_SETTINGS
+from tests.strategies.preferences import (
+    answer_events,
+    answer_sequences,
+    consistent_answer_sequences,
+    small_relations,
+)
+from tests.strategies.settings import DIFFERENTIAL_SETTINGS, ROBUSTNESS_SETTINGS
 
 __all__ = [
+    "DIFFERENTIAL_SETTINGS",
     "ROBUSTNESS_SETTINGS",
+    "answer_events",
+    "answer_sequences",
+    "consistent_answer_sequences",
     "fault_plans",
     "lossy_fault_plans",
     "retry_policies",
     "small_crowd_relations",
+    "small_relations",
 ]

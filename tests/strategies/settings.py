@@ -9,3 +9,12 @@ ROBUSTNESS_SETTINGS = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+#: Profile for the backend differential suite: state comparisons are
+#: cheap, so examples are plentiful; deadlines stay off because the
+#: first example pays numpy/import warm-up.
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

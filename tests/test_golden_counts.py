@@ -1,0 +1,58 @@
+"""Golden regression: question/round/skyline counts must not drift.
+
+An optimized preference closure is exactly the kind of change that
+silently corrupts question counts — the algorithm still returns the
+right skyline but stops matching the paper's cost accounting. This
+suite replays a small seeded matrix of (dataset × scheduler × backend)
+and compares every case against ``tests/fixtures/golden_counts.json``
+exactly. After an *intentional* behaviour change, regenerate with
+``make regen-golden`` and commit the diff.
+"""
+
+import json
+
+import pytest
+
+from tests.regen_golden import BACKENDS, GOLDEN_PATH, SCHEDULERS, datasets, run_case
+
+pytestmark = pytest.mark.pref
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        "missing golden fixture — run `make regen-golden` and commit "
+        f"{GOLDEN_PATH}"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_datasets():
+    return datasets()
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize(
+    "dataset_name",
+    ["toy_fig1", "ind_n40", "ant_n36", "cor_n40", "ind_ac2_n30"],
+)
+def test_counts_match_golden(
+    golden, golden_datasets, dataset_name, scheduler_name
+):
+    key = f"{dataset_name}/{scheduler_name}"
+    assert key in golden, f"missing golden case {key} — run `make regen-golden`"
+    relation = golden_datasets[dataset_name]
+    for backend in BACKENDS:
+        actual = run_case(relation, scheduler_name, backend)
+        assert actual == golden[key][backend], (
+            f"drift in {key} [{backend}]: got {actual}, golden "
+            f"{golden[key][backend]} — if intentional, run `make "
+            f"regen-golden` and commit the updated fixture"
+        )
+
+
+def test_golden_backends_agree(golden):
+    """The committed fixture itself must be backend-consistent."""
+    for key, per_backend in golden.items():
+        assert per_backend["reference"] == per_backend["bitset"], key

@@ -1,0 +1,70 @@
+"""Perf smoke: the bitset closure backend must never be slower.
+
+A scaled-down replay (n=128) of the ``benchmarks/closure_cases``
+workloads, timed with best-of-3 on both backends. At this size the
+bitset backend wins every mix by well over 2x on an idle machine, so
+asserting plain "not slower" leaves ample headroom for CI noise while
+still catching a pathological regression (e.g. reintroducing a
+whole-cache invalidation or an accidental O(n) query path).
+
+Run via ``make test-perf-core``. The full-size (n=512) numbers live in
+``benchmarks/baselines/closure_n512.json``.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from closure_cases import make_workloads, run_workload  # noqa: E402
+
+pytestmark = [pytest.mark.perf, pytest.mark.pref]
+
+SMOKE_N = 128
+WORKLOADS = make_workloads(SMOKE_N)
+
+
+def _best_of(ops, backend: str, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_workload(ops, SMOKE_N, backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_bitset_not_slower_than_reference(workload):
+    ops = WORKLOADS[workload]
+    assert run_workload(ops, SMOKE_N, "reference") == run_workload(
+        ops, SMOKE_N, "bitset"
+    ), f"backends disagree on {workload}"
+    reference = _best_of(ops, "reference")
+    bitset = _best_of(ops, "bitset")
+    assert bitset <= reference, (
+        f"bitset backend slower than reference on {workload}: "
+        f"{bitset * 1000:.2f}ms vs {reference * 1000:.2f}ms"
+    )
+
+
+def test_committed_baseline_shows_speedup():
+    """The committed n=512 baseline must document ≥3x aggregate."""
+    import json
+
+    baseline_path = (
+        Path(__file__).parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "closure_n512.json"
+    )
+    assert baseline_path.exists(), (
+        "missing baseline — run `python benchmarks/record_closure_baseline.py`"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["n"] == 512
+    assert baseline["aggregate_speedup"] >= 3.0
+    for name, row in baseline["workloads"].items():
+        assert row["speedup"] >= 1.0, f"{name} regressed in the baseline"

@@ -1,18 +1,37 @@
-"""Tests for the preference graph ``T`` and the preference system."""
+"""Tests for the preference graph ``T`` and the preference system.
+
+Every test in this module runs once per closure backend (see the
+autouse ``pref_backend`` fixture): the behavioural contract is
+backend-independent, so the whole suite doubles as a second
+differential check on top of ``test_preference_differential.py``.
+"""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.preference import (
+    BACKEND_ENV_VAR,
+    BitsetPreferenceGraph,
     ContradictionPolicy,
+    GRAPH_BACKENDS,
     PreferenceGraph,
     PreferenceSystem,
+    ReferencePreferenceGraph,
 )
 from repro.crowd.questions import Preference
 from repro.exceptions import PreferenceConflictError
 
 L, R, E = Preference.LEFT, Preference.RIGHT, Preference.EQUAL
+
+pytestmark = pytest.mark.pref
+
+
+@pytest.fixture(autouse=True, params=sorted(GRAPH_BACKENDS))
+def pref_backend(request, monkeypatch):
+    """Run every test in this module under each closure backend."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, request.param)
+    return request.param
 
 
 class TestPreferenceGraph:
@@ -97,7 +116,11 @@ class TestPreferenceGraph:
         graph.add_answer(2, 3, L)
         assert (2, 3) in graph.edges()
 
-    @settings(max_examples=50, deadline=None)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(
         st.lists(
             st.tuples(
@@ -124,7 +147,11 @@ class TestPreferenceGraph:
 
 
 class TestConsistencyWithTotalOrder:
-    @settings(max_examples=50, deadline=None)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(st.permutations(list(range(8))), st.data())
     def test_answers_from_total_order_reproduce_it(self, order, data):
         """Feeding answers consistent with a total order never conflicts,
@@ -211,3 +238,51 @@ class TestPreferenceSystem:
         system.add_answer(0, 1, 0, L)
         system.add_answer(0, 1, 0, R)
         assert system.total_rejected() == 1
+
+    def test_pair_relations_memo_and_invalidation(self):
+        system = PreferenceSystem(5, 2)
+        system.add_answer(0, 1, 0, L)
+        assert system.pair_relations(0, 1) == (L, None)
+        misses = system.cache_misses
+        assert system.pair_relations(1, 0) == (R, None)  # flipped: cached
+        assert system.cache_misses == misses
+        system.add_answer(0, 1, 1, E)  # accepted answer invalidates
+        assert system.pair_relations(0, 1) == (L, E)
+
+    def test_resolve_pairs_batches_and_dedupes(self):
+        system = PreferenceSystem(5, 1)
+        system.add_answer(0, 1, 0, L)
+        resolved = system.resolve_pairs([(0, 1), (1, 0), (0, 1), (2, 3)])
+        assert resolved[(0, 1)] == (L,)
+        assert resolved[(1, 0)] == (R,)
+        assert resolved[(2, 3)] == (None,)
+
+
+class TestBackendFactory:
+    def test_factory_respects_env_var(self, pref_backend):
+        graph = PreferenceGraph(4)
+        assert isinstance(graph, GRAPH_BACKENDS[pref_backend])
+        assert graph.backend == pref_backend
+
+    def test_explicit_backend_overrides_env(self):
+        assert isinstance(
+            PreferenceGraph(4, backend="reference"), ReferencePreferenceGraph
+        )
+        assert isinstance(
+            PreferenceGraph(4, backend="bitset"), BitsetPreferenceGraph
+        )
+
+    def test_bitset_exposes_closure_masks(self):
+        graph = PreferenceGraph(5, backend="bitset")
+        graph.add_answer(0, 1, L)
+        graph.add_answer(1, 2, L)
+        graph.add_answer(2, 3, E)
+        assert graph.descendants_bits(0) == 0b1110
+        assert graph.ancestors_bits(3) == 0b0011
+        assert graph.tie_class_bits(2) == 0b1100
+
+    def test_reference_exposes_descendant_sets(self):
+        graph = PreferenceGraph(5, backend="reference")
+        graph.add_answer(0, 1, L)
+        graph.add_answer(1, 2, L)
+        assert graph.descendants(0) == {1, 2}

@@ -1,0 +1,229 @@
+"""Differential suite: bitset vs reference preference backends.
+
+The bitset backend (:class:`repro.core.preference.BitsetPreferenceGraph`)
+is an optimization of the reference implementation, not a
+reinterpretation — every observable it exposes must match the reference
+bit for bit. These properties replay random answer histories (edges,
+ties, contradictions under both :class:`ContradictionPolicy` values)
+into both backends and compare the complete derivable state, then pin
+full CrowdSky runs (all three schedulers) to identical question counts,
+rounds and skylines under either backend.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CrowdSkyConfig, crowdsky, parallel_dset, parallel_sl
+from repro.core.preference import (
+    BitsetPreferenceGraph,
+    ContradictionPolicy,
+    PreferenceGraph,
+    PreferenceSystem,
+    ReferencePreferenceGraph,
+    default_backend,
+)
+from repro.crowd.questions import Preference
+from repro.data.synthetic import Distribution, generate_synthetic
+from repro.exceptions import CrowdSkyError, PreferenceConflictError
+from tests.strategies import (
+    DIFFERENTIAL_SETTINGS,
+    ROBUSTNESS_SETTINGS,
+    answer_sequences,
+    consistent_answer_sequences,
+    small_relations,
+)
+
+pytestmark = pytest.mark.pref
+
+BACKENDS = ("reference", "bitset")
+
+
+def graph_state(graph, n):
+    """Every observable of a preference graph, as comparable data."""
+    return {
+        "relations": [
+            [graph.relation(u, v) for v in range(n)] for u in range(n)
+        ],
+        "classes": [graph.class_of(u) for u in range(n)],
+        "edges": sorted(graph.edges()),
+        "rejected": graph.rejected_answers,
+        "version": graph.version,
+    }
+
+
+def replay(graph, events):
+    """Replay an answer history; returns the acceptance bitmap."""
+    return [graph.add_answer(u, v, answer) for u, v, _, answer in events]
+
+
+class TestGraphDifferential:
+    @settings(
+        parent=DIFFERENTIAL_SETTINGS,
+    )
+    @given(answer_sequences(max_attributes=1))
+    def test_keep_first_state_identical(self, sequence):
+        """Random histories (contradictions included) yield identical
+        acceptance decisions and identical derivable state."""
+        n, _, events = sequence
+        reference = ReferencePreferenceGraph(n)
+        bitset = BitsetPreferenceGraph(n)
+        assert replay(reference, events) == replay(bitset, events)
+        assert graph_state(reference, n) == graph_state(bitset, n)
+
+    @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
+    @given(answer_sequences(max_attributes=1))
+    def test_raise_policy_rejects_at_same_event(self, sequence):
+        """Under RAISE both backends throw on exactly the same event,
+        leaving identical pre-conflict state behind."""
+        n, _, events = sequence
+        reference = ReferencePreferenceGraph(
+            n, policy=ContradictionPolicy.RAISE
+        )
+        bitset = BitsetPreferenceGraph(n, policy=ContradictionPolicy.RAISE)
+        failed_at = {}
+        for name, graph in (("reference", reference), ("bitset", bitset)):
+            for index, (u, v, _, answer) in enumerate(events):
+                try:
+                    graph.add_answer(u, v, answer)
+                except PreferenceConflictError:
+                    failed_at[name] = index
+                    break
+        assert failed_at.get("reference") == failed_at.get("bitset")
+        assert graph_state(reference, n) == graph_state(bitset, n)
+
+    @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
+    @given(consistent_answer_sequences())
+    def test_consistent_histories_never_reject(self, sequence):
+        """Histories drawn from a latent weak order are accepted whole
+        by both backends, which then agree with the latent order."""
+        n, _, events, ranks = sequence
+        for backend in BACKENDS:
+            graph = PreferenceGraph(
+                n, policy=ContradictionPolicy.RAISE, backend=backend
+            )
+            for u, v, _, answer in events:
+                assert graph.add_answer(u, v, answer)
+            assert graph.rejected_answers == 0
+            for u in range(n):
+                for v in range(n):
+                    rel = graph.relation(u, v)
+                    if u != v and rel is Preference.LEFT:
+                        assert ranks[u] < ranks[v]
+                    elif u != v and rel is Preference.RIGHT:
+                        assert ranks[u] > ranks[v]
+                    elif u != v and rel is Preference.EQUAL:
+                        assert ranks[u] == ranks[v]
+
+    @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
+    @given(answer_sequences(max_attributes=2))
+    def test_system_predicates_identical(self, sequence):
+        """AC-level predicates (the pruning machinery's inputs) agree on
+        every ordered pair, as does the batched resolve_pairs view."""
+        n, num_attributes, events = sequence
+        systems = {
+            backend: PreferenceSystem(n, num_attributes, backend=backend)
+            for backend in BACKENDS
+        }
+        for u, v, attribute, answer in events:
+            accepted = {
+                backend: system.add_answer(u, v, attribute, answer)
+                for backend, system in systems.items()
+            }
+            assert accepted["reference"] == accepted["bitset"]
+        ref, bit = systems["reference"], systems["bitset"]
+        pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+        assert ref.resolve_pairs(pairs) == bit.resolve_pairs(pairs)
+        for u, v in pairs:
+            assert ref.ac_dominates(u, v) == bit.ac_dominates(u, v)
+            assert ref.ac_equal(u, v) == bit.ac_equal(u, v)
+            assert ref.weakly_prefers_all(u, v) == bit.weakly_prefers_all(u, v)
+            assert ref.cannot_dominate(u, v) == bit.cannot_dominate(u, v)
+            assert ref.unknown_attributes(u, v) == bit.unknown_attributes(u, v)
+        assert ref.total_rejected() == bit.total_rejected()
+        members = list(range(0, n, 2)) + list(range(1, n, 2))
+        assert ref.sky_ac(members) == bit.sky_ac(members)
+        assert ref.sky_ac(list(range(n))) == bit.sky_ac(list(range(n)))
+
+
+class TestEndToEndDifferential:
+    """Full CrowdSky runs must be bit-identical across backends."""
+
+    @settings(parent=ROBUSTNESS_SETTINGS)
+    @given(
+        seed=st.integers(0, 10_000),
+        distribution=st.sampled_from(list(Distribution)),
+        num_crowd=st.integers(1, 2),
+    )
+    def test_seeded_instances_identical(self, seed, distribution, num_crowd):
+        relation = generate_synthetic(
+            28, 2, num_crowd, distribution, seed=seed
+        )
+        for scheduler in (crowdsky, parallel_dset, parallel_sl):
+            results = {
+                backend: scheduler(
+                    relation, config=CrowdSkyConfig(backend=backend)
+                )
+                for backend in BACKENDS
+            }
+            ref, bit = results["reference"], results["bitset"]
+            assert ref.skyline == bit.skyline
+            assert ref.stats.questions == bit.stats.questions
+            assert ref.stats.rounds == bit.stats.rounds
+            assert ref.rejected_answers == bit.rejected_answers
+            assert ref.question_log == bit.question_log
+
+    @settings(parent=ROBUSTNESS_SETTINGS, max_examples=15)
+    @given(relation=small_relations())
+    def test_arbitrary_relations_identical(self, relation):
+        """Grid relations with ties/duplicates — the degenerate-case
+        preprocessing and tie-merge paths — agree end to end."""
+        results = {
+            backend: crowdsky(
+                relation, config=CrowdSkyConfig(backend=backend)
+            )
+            for backend in BACKENDS
+        }
+        ref, bit = results["reference"], results["bitset"]
+        assert ref.skyline == bit.skyline
+        assert ref.stats.questions == bit.stats.questions
+        assert ref.stats.rounds == bit.stats.rounds
+        assert ref.question_log == bit.question_log
+
+
+class TestBackendSelection:
+    def test_default_is_bitset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PREF_BACKEND", raising=False)
+        assert default_backend() == "bitset"
+        assert isinstance(PreferenceGraph(4), BitsetPreferenceGraph)
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREF_BACKEND", "reference")
+        assert default_backend() == "reference"
+        assert isinstance(PreferenceGraph(4), ReferencePreferenceGraph)
+        system = PreferenceSystem(4, 1)
+        assert system.backend == "reference"
+        assert isinstance(system.graphs[0], ReferencePreferenceGraph)
+
+    def test_constructor_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREF_BACKEND", "reference")
+        assert isinstance(
+            PreferenceGraph(4, backend="bitset"), BitsetPreferenceGraph
+        )
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(CrowdSkyError):
+            PreferenceGraph(4, backend="quantum")
+        monkeypatch.setenv("REPRO_PREF_BACKEND", "quantum")
+        with pytest.raises(CrowdSkyError):
+            default_backend()
+
+    def test_config_backend_threads_through(self, small_independent):
+        result = crowdsky(
+            small_independent, config=CrowdSkyConfig(backend="reference")
+        )
+        baseline = crowdsky(
+            small_independent, config=CrowdSkyConfig(backend="bitset")
+        )
+        assert result.skyline == baseline.skyline
+        assert result.stats.questions == baseline.stats.questions
