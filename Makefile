@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core regen-golden closure-baseline bench bench-ci experiments experiments-paper examples trace-demo lint-clean
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint-clean
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -27,6 +27,10 @@ test-pref:
 test-perf-core:
 	pytest tests/test_perf_core.py -m perf -q
 
+# Sweep engine: parallel/serial differential, result cache, obs merging.
+test-sweep:
+	pytest tests/test_sweep.py -m sweep -q
+
 # Refresh tests/fixtures/golden_counts.json after an intentional
 # behaviour change (then commit the diff).
 regen-golden:
@@ -43,6 +47,12 @@ bench:
 bench-ci:
 	pytest benchmarks/ --benchmark-only --repro-scale ci
 
+# Refresh benchmarks/baselines/sweep_ci.json (serial vs --jobs 4 cold
+# cache vs warm cache, ci scale) after sweep-engine changes, then
+# commit the diff.
+bench-sweep:
+	PYTHONPATH=src python benchmarks/record_sweep_baseline.py
+
 experiments:
 	python -m repro.experiments run all --scale ci
 
@@ -55,7 +65,7 @@ examples:
 # Record a small traced IND run, then validate the JSONL trace against
 # the event schema and cross-check it against the metrics dump.
 trace-demo:
-	python -m repro.experiments run fig6a --scale smoke \
+	python -m repro.experiments run fig6a --scale smoke --no-cache \
 		--trace trace-demo.jsonl --metrics trace-demo.prom
 	python -m repro.experiments trace validate trace-demo.jsonl \
 		--metrics trace-demo.prom

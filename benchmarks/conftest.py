@@ -14,6 +14,12 @@ Profiling hooks: pass ``--repro-trace-dir DIR`` and/or
 a structured JSONL event trace (``DIR/<experiment_id>.jsonl``) and a
 Prometheus-style metrics dump (``DIR/<experiment_id>.prom``) of the
 measured run.
+
+Sweep-engine hooks: ``--repro-jobs N`` fans each experiment's cells
+over N worker processes; ``--repro-cache-dir DIR`` serves previously
+computed cells from a content-addressed cache rooted at DIR. Caching is
+*off* by default here — benchmarks should measure real work — and
+``--repro-no-cache`` forces it off even when a directory is set.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import pytest
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.report import format_table
+from repro.experiments.sweep import resolve_cache
 from repro.obs import observe
 
 
@@ -48,11 +55,40 @@ def pytest_addoption(parser):
         default=None,
         help="write a Prometheus metrics dump per experiment here",
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes per experiment sweep (0 = one per CPU)",
+    )
+    parser.addoption(
+        "--repro-cache-dir",
+        action="store",
+        default=None,
+        help="serve sweep cells from a result cache rooted here",
+    )
+    parser.addoption(
+        "--repro-no-cache",
+        action="store_true",
+        default=False,
+        help="force the sweep result cache off",
+    )
 
 
 @pytest.fixture
 def scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def sweep_options(request):
+    """``(jobs, cache)`` for the sweep engine, from the CLI options."""
+    jobs = request.config.getoption("--repro-jobs")
+    cache_dir = request.config.getoption("--repro-cache-dir")
+    if request.config.getoption("--repro-no-cache"):
+        cache_dir = None
+    return jobs, resolve_cache(cache_dir)
 
 
 @pytest.fixture
@@ -68,9 +104,10 @@ def obs_dirs(request):
 
 
 @pytest.fixture
-def run_figure(benchmark, scale, obs_dirs):
+def run_figure(benchmark, scale, obs_dirs, sweep_options):
     """Run one experiment under pytest-benchmark and return its rows."""
     trace_dir, metrics_dir = obs_dirs
+    jobs, cache = sweep_options
 
     def runner(experiment_id):
         observing = (
@@ -93,7 +130,7 @@ def run_figure(benchmark, scale, obs_dirs):
             result = benchmark.pedantic(
                 run_experiment,
                 args=(experiment_id,),
-                kwargs={"scale": scale},
+                kwargs={"scale": scale, "jobs": jobs, "cache": cache},
                 rounds=1,
                 iterations=1,
             )

@@ -1,0 +1,83 @@
+"""Record the sweep-engine baseline: serial vs parallel vs warm cache.
+
+Runs a representative registry experiment (``fig6a``, ci scale) three
+ways — serially, fanned over ``--jobs 4`` worker processes with a cold
+result cache, and again against the now-warm cache — verifies all three
+produce identical rows, and writes the wall-clock numbers to
+``benchmarks/baselines/sweep_ci.json``.
+
+The committed baseline documents the speedup the sweep engine sustains
+on the recording machine. The ``cpus`` field matters when reading it:
+process-pool fan-out cannot beat serial execution on a single-core
+container, so judge the parallel figure against the core count it was
+recorded on. The warm-cache figure is hardware-independent — serving
+cells from disk skips the crowd simulation entirely.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_sweep_baseline.py
+
+Regenerate (and commit the diff) after sweep-engine or experiment
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.sweep import SweepCache
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "sweep_ci.json"
+EXPERIMENT = "fig6a"
+SCALE = "ci"
+JOBS = 4
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    result = run_experiment(EXPERIMENT, scale=SCALE, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def main() -> None:
+    serial_s, serial = _timed(jobs=1)
+    print(f"serial            {serial_s * 1000:8.1f}ms")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(tmp)
+        cold_s, cold = _timed(jobs=JOBS, cache=cache)
+        print(f"jobs={JOBS} cold cache {cold_s * 1000:8.1f}ms")
+        warm_s, warm = _timed(jobs=JOBS, cache=cache)
+        print(f"jobs={JOBS} warm cache {warm_s * 1000:8.1f}ms")
+        if cache.stats.hits != cache.stats.stored:
+            raise SystemExit("warm pass did not serve every cell from cache")
+
+    if cold.rows != serial.rows or warm.rows != serial.rows:
+        raise SystemExit("parallel/cached rows diverge from serial rows")
+    print("rows identical across serial / parallel / cached runs")
+
+    baseline = {
+        "experiment": EXPERIMENT,
+        "scale": SCALE,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "serial_ms": round(serial_s * 1000, 1),
+        "parallel_cold_ms": round(cold_s * 1000, 1),
+        "warm_cache_ms": round(warm_s * 1000, 1),
+        "parallel_speedup": round(serial_s / cold_s, 2),
+        "warm_cache_fraction_of_serial": round(warm_s / serial_s, 3),
+    }
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,14 @@ class ExecutionContext:
     unresolved_pairs: Set[TupleT[int, int, int]] = field(
         default_factory=set
     )
+    #: Memoized :meth:`eval_order` result and the ``removed`` snapshot it
+    #: was computed against (``removed`` is mutated in place by callers).
+    _order_cache: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _order_removed: Optional[frozenset] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def degraded(self) -> bool:
@@ -75,9 +83,18 @@ class ExecutionContext:
 
     def eval_order(self) -> List[int]:
         """Tuples in ascending ``|DS(t)|`` order, preprocessed tuples
-        excluded."""
-        order = evaluation_order(self.dominating)
-        return [t for t in order if t not in self.removed]
+        excluded.
+
+        The order is memoized (``dominating`` is fixed after
+        :func:`build_context`) and recomputed only when ``removed`` has
+        changed since the last call.
+        """
+        removed = frozenset(self.removed)
+        if self._order_cache is None or self._order_removed != removed:
+            order = evaluation_order(self.dominating)
+            self._order_cache = [t for t in order if t not in removed]
+            self._order_removed = removed
+        return list(self._order_cache)
 
     def ds_in_eval_order(self, t: int) -> List[int]:
         """``DS(t)`` members sorted by their own evaluation position."""
@@ -369,10 +386,11 @@ def ask_batch(
     requests: Iterable[Union[PairRequest, MultiwayRequest]],
 ) -> None:
     """Ask a batch of requests together as one round (parallel
-    schedulers). Pairwise and m-ary micro-tasks of the same round are
-    issued back to back; both count toward the same round for latency
-    (the platform records one round per non-empty call, so mixed batches
-    cost at most two round slots — in practice a run uses one format)."""
+    schedulers). Pairwise and m-ary micro-tasks of the same batch are
+    issued back to back, and the multiway posting is folded into the
+    pairwise round's accounting (``same_round``) whenever the pairwise
+    half actually executed one — a mixed batch costs exactly one latency
+    round."""
     prefs = context.prefs
     questions: List[PairwiseQuestion] = []
     multiway: List[MultiwayQuestion] = []
@@ -416,12 +434,20 @@ def ask_batch(
             multiway=len(multiway),
             questions=len(questions),
         )
+    rounds_before = context.crowd.stats.rounds
     if questions:
         apply_answers(prefs, context.crowd.ask_pairwise_round(questions))
         _note_unresolved(context, questions)
     if multiway:
+        # Merge only when the pairwise half executed a round just now; a
+        # fully cache-served (or empty) pairwise half means the multiway
+        # posting is this batch's one round.
         apply_multiway_answers(
-            prefs, context.crowd.ask_multiway_round(multiway)
+            prefs,
+            context.crowd.ask_multiway_round(
+                multiway,
+                same_round=context.crowd.stats.rounds > rounds_before,
+            ),
         )
 
 
@@ -441,12 +467,25 @@ def preprocess_duplicates(
     Returns the removed tuple indices.
     """
     known = relation.known_matrix()
-    groups: Dict[TupleT[float, ...], List[int]] = {}
-    for i in range(known.shape[0]):
-        groups.setdefault(tuple(known[i]), []).append(i)
+    groups: List[List[int]] = []
+    if known.shape[0]:
+        # Vectorized duplicate grouping. np.unique orders groups
+        # lexicographically by row value; re-sorting by first member
+        # restores the first-occurrence order the question sequence
+        # (and thus the seeded crowd RNG stream) depends on. Stable
+        # argsort keeps members ascending within each group.
+        _, inverse, counts = np.unique(
+            known, axis=0, return_inverse=True, return_counts=True
+        )
+        order = np.argsort(inverse.ravel(), kind="stable")
+        groups = [
+            [int(i) for i in members]
+            for members in np.split(order, np.cumsum(counts)[:-1])
+        ]
+        groups.sort(key=lambda members: members[0])
 
     removed: Set[int] = set()
-    for members in groups.values():
+    for members in groups:
         if len(members) < 2:
             continue
         for i, u in enumerate(members):

@@ -674,7 +674,9 @@ class SimulatedCrowd:
         return answer
 
     def ask_multiway_round(
-        self, questions: Iterable[MultiwayQuestion]
+        self,
+        questions: Iterable[MultiwayQuestion],
+        same_round: bool = False,
     ) -> Dict[MultiwayQuestion, int]:
         """Execute one round of m-ary questions (§2.1's extension).
 
@@ -682,6 +684,15 @@ class SimulatedCrowd:
         for the most preferred one; votes are aggregated by plurality
         (ties broken toward the lowest tuple index). One m-ary question
         counts as one question for cost purposes.
+
+        ``same_round=True`` folds this posting into the immediately
+        preceding round instead of opening a new one: questions,
+        assignments and HIT sizing accrue to that round and a
+        ``crowd.round_merged`` trace event is emitted. Mixed
+        pairwise+multiway batches use this so a batch costs a single
+        latency round. (The round-size histogram keeps its original
+        pairwise observation — only ``round_sizes`` reflects the merged
+        total.) Ignored when no round has executed yet.
         """
         unique: List[MultiwayQuestion] = []
         fresh: List[MultiwayQuestion] = []
@@ -751,15 +762,21 @@ class SimulatedCrowd:
                         question=list(question.key()),
                         vote=int(vote),
                     )
-        self.stats.record_round(len(fresh), assignments)
-        self.count_metric(ROUNDS)
+        merge = same_round and bool(self.stats.round_sizes)
+        if merge:
+            self.stats.questions += len(fresh)
+            self.stats.worker_assignments += assignments
+            self.stats.round_sizes[-1] += len(fresh)
+        else:
+            self.stats.record_round(len(fresh), assignments)
+            self.count_metric(ROUNDS)
+            self._observe_round_size(len(fresh))
         self.count_metric(QUESTIONS_ASKED, len(fresh))
         if assignments:
             self.count_metric(WORKER_ASSIGNMENTS, assignments)
-        self._observe_round_size(len(fresh))
         if trace is not None:
             trace.event(
-                "crowd.round",
+                "crowd.round_merged" if merge else "crowd.round",
                 round=self.stats.rounds,
                 questions=len(fresh),
                 assignments=assignments,

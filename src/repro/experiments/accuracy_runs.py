@@ -24,6 +24,7 @@ from repro.crowd.voting import DynamicVoting, StaticVoting, VotingPolicy
 from repro.crowd.workers import WorkerPool
 from repro.data.relation import Relation
 from repro.data.synthetic import Distribution, generate_synthetic
+from repro.experiments.sweep import Cell, CacheLike, run_cells
 from repro.metrics.accuracy import precision_recall
 from repro.skyline.dominating import FrequencyOracle
 from repro.skyline.dominance import dominance_matrix
@@ -62,6 +63,112 @@ def run_with_voting(
     return crowdsky(relation, crowd=crowd)
 
 
+def voting_cell(config: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Sweep-cell runner for Figure 10 (one dataset, both policies)."""
+    n = int(config["n"])
+    num_known = int(config["num_known"])
+    num_crowd = int(config["num_crowd"])
+    distribution = Distribution(config["distribution"])
+    omega = int(config["omega"])
+    scores: Dict[str, float] = {}
+
+    relation = generate_synthetic(
+        n, num_known, num_crowd, distribution, seed=seed
+    )
+    static = run_with_voting(relation, StaticVoting(omega), seed)
+    report = precision_recall(static.skyline, relation)
+    scores["StaticVoting precision"] = report.precision
+    scores["StaticVoting recall"] = report.recall
+
+    relation = generate_synthetic(
+        n, num_known, num_crowd, distribution, seed=seed
+    )
+    dynamic = run_with_voting(
+        relation, _dynamic_voting(relation, omega), seed
+    )
+    report = precision_recall(dynamic.skyline, relation)
+    scores["DynamicVoting precision"] = report.precision
+    scores["DynamicVoting recall"] = report.recall
+    return scores
+
+
+def method_cell(config: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Sweep-cell runner for Figure 11 (one dataset, all methods)."""
+    n = int(config["n"])
+    num_known = int(config["num_known"])
+    num_crowd = int(config["num_crowd"])
+    distribution = Distribution(config["distribution"])
+    omega = int(config["omega"])
+    scores: Dict[str, float] = {}
+    for name, runner in _methods(omega):
+        relation = generate_synthetic(
+            n, num_known, num_crowd, distribution, seed=seed
+        )
+        result = runner(relation, seed)
+        report = precision_recall(result.skyline, relation)
+        scores[f"{name} precision"] = report.precision
+        scores[f"{name} recall"] = report.recall
+    return scores
+
+
+VOTING_RUNNER = "repro.experiments.accuracy_runs:voting_cell"
+METHOD_RUNNER = "repro.experiments.accuracy_runs:method_cell"
+
+
+def _accuracy_sweep(
+    runner: str,
+    series: Sequence[str],
+    cardinalities: Sequence[int],
+    num_known: int,
+    num_crowd: int,
+    distribution: Distribution,
+    num_seeds: int,
+    base_seed: int,
+    omega: int,
+    jobs: int,
+    cache: CacheLike,
+) -> List[Dict[str, object]]:
+    label = runner.rsplit(":", 1)[-1]
+    seeds = range(base_seed, base_seed + num_seeds)
+    plan = [
+        (
+            n,
+            [
+                Cell.make(
+                    label,
+                    runner,
+                    {
+                        "n": n,
+                        "num_known": num_known,
+                        "num_crowd": num_crowd,
+                        "distribution": distribution.value,
+                        "omega": omega,
+                    },
+                    seed,
+                )
+                for seed in seeds
+            ],
+        )
+        for n in cardinalities
+    ]
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells],
+        jobs=jobs, cache=cache,
+    )
+    rows: List[Dict[str, object]] = []
+    for n, cells in plan:  # seed order inside each n is plan order
+        samples = [results[cell] for cell in cells]
+        row: Dict[str, object] = {"n": n}
+        row.update(
+            {
+                name: float(np.mean([sample[name] for sample in samples]))
+                for name in series
+            }
+        )
+        rows.append(row)
+    return rows
+
+
 def voting_accuracy(
     cardinalities: Sequence[int] = CI_ACCURACY_CARDINALITIES,
     num_known: int = 4,
@@ -70,40 +177,21 @@ def voting_accuracy(
     num_seeds: int = 5,
     base_seed: int = 0,
     omega: int = DEFAULT_OMEGA,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 10: precision/recall of Static vs Dynamic voting."""
-    rows: List[Dict[str, object]] = []
-    for n in cardinalities:
-        scores: Dict[str, List[float]] = {
-            "StaticVoting precision": [],
-            "StaticVoting recall": [],
-            "DynamicVoting precision": [],
-            "DynamicVoting recall": [],
-        }
-        for seed in range(base_seed, base_seed + num_seeds):
-            relation = generate_synthetic(
-                n, num_known, num_crowd, distribution, seed=seed
-            )
-            static = run_with_voting(relation, StaticVoting(omega), seed)
-            report = precision_recall(static.skyline, relation)
-            scores["StaticVoting precision"].append(report.precision)
-            scores["StaticVoting recall"].append(report.recall)
-
-            relation = generate_synthetic(
-                n, num_known, num_crowd, distribution, seed=seed
-            )
-            dynamic = run_with_voting(
-                relation, _dynamic_voting(relation, omega), seed
-            )
-            report = precision_recall(dynamic.skyline, relation)
-            scores["DynamicVoting precision"].append(report.precision)
-            scores["DynamicVoting recall"].append(report.recall)
-        row: Dict[str, object] = {"n": n}
-        row.update(
-            {name: float(np.mean(values)) for name, values in scores.items()}
-        )
-        rows.append(row)
-    return rows
+    return _accuracy_sweep(
+        VOTING_RUNNER,
+        (
+            "StaticVoting precision",
+            "StaticVoting recall",
+            "DynamicVoting precision",
+            "DynamicVoting recall",
+        ),
+        cardinalities, num_known, num_crowd, distribution,
+        num_seeds, base_seed, omega, jobs, cache,
+    )
 
 
 def method_accuracy(
@@ -114,6 +202,8 @@ def method_accuracy(
     num_seeds: int = 5,
     base_seed: int = 0,
     omega: int = DEFAULT_OMEGA,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 11: precision/recall of Baseline vs Unary vs CrowdSky.
 
@@ -126,7 +216,24 @@ def method_accuracy(
     distribution of the actual value"); CrowdSky runs with dynamic
     majority voting, as stated in §6.1.
     """
-    methods: Sequence = (
+    return _accuracy_sweep(
+        METHOD_RUNNER,
+        (
+            "Baseline precision",
+            "Baseline recall",
+            "Unary precision",
+            "Unary recall",
+            "CrowdSky precision",
+            "CrowdSky recall",
+        ),
+        cardinalities, num_known, num_crowd, distribution,
+        num_seeds, base_seed, omega, jobs, cache,
+    )
+
+
+def _methods(omega: int) -> Sequence:
+    """The Figure 11 contenders, budget-normalized (see above)."""
+    return (
         (
             "Baseline",
             lambda relation, seed: baseline_skyline(
@@ -152,23 +259,3 @@ def method_accuracy(
             ),
         ),
     )
-    rows: List[Dict[str, object]] = []
-    for n in cardinalities:
-        scores: Dict[str, List[float]] = {}
-        for seed in range(base_seed, base_seed + num_seeds):
-            for name, runner in methods:
-                relation = generate_synthetic(
-                    n, num_known, num_crowd, distribution, seed=seed
-                )
-                result = runner(relation, seed)
-                report = precision_recall(result.skyline, relation)
-                scores.setdefault(f"{name} precision", []).append(
-                    report.precision
-                )
-                scores.setdefault(f"{name} recall", []).append(report.recall)
-        row: Dict[str, object] = {"n": n}
-        row.update(
-            {name: float(np.mean(values)) for name, values in scores.items()}
-        )
-        rows.append(row)
-    return rows

@@ -6,8 +6,15 @@ Subcommands::
     crowdsky run fig8 --scale ci      # reproduce a figure/table
     crowdsky run all --scale smoke    # run everything (e.g. sanity sweep)
     crowdsky run fig6a --trace t.jsonl --metrics m.prom   # traced run
+    crowdsky run fig8 --jobs 4        # fan cells out over 4 processes
+    crowdsky run fig8 --no-cache      # recompute every cell
     crowdsky trace summarize t.jsonl  # human-readable trace report
     crowdsky trace validate t.jsonl --metrics m.prom      # schema check
+
+``run`` and ``plot`` memoize finished sweep cells in a
+content-addressed cache (``--cache-dir``, default
+``~/.cache/crowdsky/sweeps``), invalidated automatically whenever any
+``repro`` source file changes.
 
 Set ``REPRO_LOG_LEVEL=debug`` (or info/warning) for diagnostic logging
 on stderr.
@@ -27,8 +34,38 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.report import format_table
+from repro.experiments.sweep import resolve_cache
 from repro.obs import observe, read_trace_jsonl, summarize_trace
 from repro.obs.logging import configure_logging, level_from_env
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep-engine flags shared by ``run`` and ``plot``."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run sweep cells across N worker processes (0 = one per "
+            "CPU; default: 1, rows are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory for the content-addressed result cache "
+            "(default: $REPRO_SWEEP_CACHE_DIR or "
+            "~/.cache/crowdsky/sweeps)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (recompute every cell)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Prometheus-style metrics dump of the run to PATH",
     )
+    _add_sweep_options(run)
 
     subparsers.add_parser(
         "demo",
@@ -107,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="ci",
         help="parameter grid size (default: ci)",
     )
+    _add_sweep_options(plot)
     return parser
 
 
@@ -221,11 +260,19 @@ def _dispatch(args) -> int:
         if trace_path or metrics_path
         else nullcontext()
     )
+    # Caching is on by default for CLI sweeps (the point of the cache
+    # is free re-runs); --no-cache recomputes, --cache-dir relocates.
+    cache = resolve_cache(
+        False if args.no_cache else (args.cache_dir or True)
+    )
     results = []
     with observing:
         for experiment_id in ids:
             try:
-                result = run_experiment(experiment_id, scale=args.scale)
+                result = run_experiment(
+                    experiment_id, scale=args.scale,
+                    jobs=args.jobs, cache=cache,
+                )
             except ExperimentError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.data.synthetic import Distribution, generate_synthetic
+from repro.experiments.sweep import Cell, CacheLike, run_cells
 from repro.incomplete import (
     IncompleteRelation,
     SelectionPolicy,
@@ -29,6 +30,29 @@ def _jaccard(predicted: set, expected: set) -> float:
     return len(predicted & expected) / len(union)
 
 
+def budget_cell(config: Dict[str, object], seed: int) -> float:
+    """Sweep-cell runner: Jaccard score of one (budget, policy, seed)."""
+    n = int(config["n"])
+    truth = generate_synthetic(
+        n, int(config["d"]), 0, Distribution.INDEPENDENT, seed=seed
+    ).known_matrix()
+    expected = set(np.nonzero(skyline_mask(truth))[0].astype(int))
+    relation = IncompleteRelation.mask_random_cells(
+        truth, float(config["missing_rate"]), seed=seed
+    )
+    result = lofi_skyline(
+        relation,
+        budget=int(config["budget"]),
+        policy=SelectionPolicy(config["policy"]),
+        worker_sigma=float(config["worker_sigma"]),
+        seed=seed,
+    )
+    return _jaccard(result.skyline, expected)
+
+
+BUDGET_RUNNER = "repro.experiments.lofi_runs:budget_cell"
+
+
 def budget_accuracy_rows(
     n: int = 60,
     d: int = 3,
@@ -37,31 +61,46 @@ def budget_accuracy_rows(
     num_seeds: int = 3,
     worker_sigma: float = 0.05,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Jaccard similarity to the true skyline per budget and policy."""
+    seeds = range(base_seed, base_seed + num_seeds)
+    plan = [
+        (
+            budget,
+            policy,
+            [
+                Cell.make(
+                    "lofi.budget",
+                    BUDGET_RUNNER,
+                    {
+                        "n": n,
+                        "d": d,
+                        "missing_rate": missing_rate,
+                        "worker_sigma": worker_sigma,
+                        "budget": budget,
+                        "policy": policy.value,
+                    },
+                    seed,
+                )
+                for seed in seeds
+            ],
+        )
+        for budget in budgets
+        for policy in SelectionPolicy
+    ]
+    results = run_cells(
+        [cell for _, _, cells in plan for cell in cells],
+        jobs=jobs, cache=cache,
+    )
     rows: List[Dict[str, object]] = []
-    for budget in budgets:
-        row: Dict[str, object] = {"budget": budget}
-        for policy in SelectionPolicy:
-            scores = []
-            for seed in range(base_seed, base_seed + num_seeds):
-                truth = generate_synthetic(
-                    n, d, 0, Distribution.INDEPENDENT, seed=seed
-                ).known_matrix()
-                expected = set(
-                    np.nonzero(skyline_mask(truth))[0].astype(int)
-                )
-                relation = IncompleteRelation.mask_random_cells(
-                    truth, missing_rate, seed=seed
-                )
-                result = lofi_skyline(
-                    relation,
-                    budget=budget,
-                    policy=policy,
-                    worker_sigma=worker_sigma,
-                    seed=seed,
-                )
-                scores.append(_jaccard(result.skyline, expected))
-            row[policy.value] = float(np.mean(scores))
-        rows.append(row)
+    row: Dict[str, object] = {}
+    for budget, policy, cells in plan:
+        if not row or row["budget"] != budget:
+            row = {"budget": budget}
+            rows.append(row)
+        row[policy.value] = float(
+            np.mean([results[cell] for cell in cells])
+        )
     return rows

@@ -32,6 +32,7 @@ from repro.data.mlb import mlb_dataset
 from repro.data.movies import movies_dataset
 from repro.data.rectangles import rectangles_dataset
 from repro.data.relation import Relation
+from repro.experiments.sweep import Cell, CacheLike, run_cells
 from repro.metrics.accuracy import precision_recall
 
 QUERIES: Sequence[TupleT[str, Callable[[], Relation]]] = (
@@ -39,6 +40,8 @@ QUERIES: Sequence[TupleT[str, Callable[[], Relation]]] = (
     ("Q2", movies_dataset),
     ("Q3", mlb_dataset),
 )
+
+_DATASETS: Dict[str, Callable[[], Relation]] = dict(QUERIES)
 
 #: §6.2 restricts tasks to AMT "Masters" — the most reliable workers. We
 #: model that qualification as a high per-answer accuracy (a Masters
@@ -58,55 +61,151 @@ def _crowd(relation: Relation, seed: int,
     )
 
 
+_ALGORITHMS: Sequence = (
+    ("Baseline", baseline_skyline),
+    ("ParallelDSet", parallel_dset),
+    ("ParallelSL", parallel_sl),
+)
+
+
+def query_cell(config: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Sweep-cell runner for §6.2: one query, one seed.
+
+    ``config["which"]`` selects the measurement: ``cost`` (Figure 12a),
+    ``rounds`` (Figure 12b), ``latency`` (extension) or ``accuracy``
+    (§6.2 prose, payload includes the retrieved skyline labels).
+    """
+    which = config["which"]
+    name = str(config["query"])
+    dataset = _DATASETS[name]
+    if which == "cost":
+        relation = dataset()
+        base = baseline_skyline(relation, crowd=_crowd(relation, seed))
+        relation = dataset()
+        sky = crowdsky(relation, crowd=_crowd(relation, seed))
+        return {
+            "Baseline": float(base.stats.hit_cost()),
+            "CrowdSky": float(sky.stats.hit_cost()),
+        }
+    if which == "rounds":
+        out: Dict[str, object] = {}
+        for algo_name, algorithm in _ALGORITHMS:
+            relation = dataset()
+            result = algorithm(relation, crowd=_crowd(relation, seed))
+            out[algo_name] = result.stats.rounds
+        return out
+    if which == "latency":
+        from repro.crowd.hits import HitLedger
+        from repro.crowd.latency import (
+            SECONDS_PER_HIT_Q1,
+            SECONDS_PER_HIT_Q2,
+            SECONDS_PER_HIT_Q3,
+        )
+
+        hit_seconds = {
+            "Q1": SECONDS_PER_HIT_Q1,
+            "Q2": SECONDS_PER_HIT_Q2,
+            "Q3": SECONDS_PER_HIT_Q3,
+        }
+        out = {}
+        for algo_name, algorithm in _ALGORITHMS:
+            relation = dataset()
+            ledger = HitLedger(
+                seconds_per_hit=hit_seconds[name], seed=seed
+            )
+            crowd = SimulatedCrowd(
+                relation,
+                pool=WorkerPool.uniform(accuracy=DEFAULT_WORKER_ACCURACY),
+                voting=StaticVoting(DEFAULT_OMEGA),
+                seed=seed,
+                ledger=ledger,
+            )
+            algorithm(relation, crowd=crowd)
+            out[algo_name] = ledger.wall_clock_seconds() / 3600.0
+        return out
+    if which == "accuracy":
+        relation = dataset()
+        result = crowdsky(relation, crowd=_crowd(relation, seed))
+        report = precision_recall(result.skyline, relation)
+        return {
+            "precision": report.precision,
+            "recall": report.recall,
+            "labels": sorted(result.skyline_labels(relation)),
+        }
+    raise ValueError(f"unknown real-life measurement {which!r}")
+
+
+QUERY_RUNNER = "repro.experiments.reallife_runs:query_cell"
+
+
+def _query_plan(which: str, num_seeds: int, base_seed: int):
+    return [
+        (
+            name,
+            [
+                Cell.make(
+                    f"reallife.{which}",
+                    QUERY_RUNNER,
+                    {"query": name, "which": which},
+                    seed,
+                )
+                for seed in range(base_seed, base_seed + num_seeds)
+            ],
+        )
+        for name, _ in QUERIES
+    ]
+
+
 def monetary_cost_rows(
-    num_seeds: int = 3, base_seed: int = 0
+    num_seeds: int = 3, base_seed: int = 0,
+    jobs: int = 1, cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 12(a): HIT-formula cost of Baseline vs CrowdSky per query."""
+    plan = _query_plan("cost", num_seeds, base_seed)
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells], jobs=jobs, cache=cache
+    )
     rows = []
-    for name, dataset in QUERIES:
-        costs: Dict[str, List[float]] = {"Baseline": [], "CrowdSky": []}
-        for seed in range(base_seed, base_seed + num_seeds):
-            relation = dataset()
-            result = baseline_skyline(relation, crowd=_crowd(relation, seed))
-            costs["Baseline"].append(result.stats.hit_cost())
-            relation = dataset()
-            result = crowdsky(relation, crowd=_crowd(relation, seed))
-            costs["CrowdSky"].append(result.stats.hit_cost())
+    for name, cells in plan:
+        samples = [results[cell] for cell in cells]
         rows.append(
             {
                 "query": name,
-                "Baseline ($)": float(np.mean(costs["Baseline"])),
-                "CrowdSky ($)": float(np.mean(costs["CrowdSky"])),
+                "Baseline ($)": float(
+                    np.mean([s["Baseline"] for s in samples])
+                ),
+                "CrowdSky ($)": float(
+                    np.mean([s["CrowdSky"] for s in samples])
+                ),
             }
         )
     return rows
 
 
 def rounds_rows(
-    num_seeds: int = 3, base_seed: int = 0
+    num_seeds: int = 3, base_seed: int = 0,
+    jobs: int = 1, cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 12(b): rounds of Baseline vs ParallelDSet vs ParallelSL."""
-    algorithms: Sequence = (
-        ("Baseline", baseline_skyline),
-        ("ParallelDSet", parallel_dset),
-        ("ParallelSL", parallel_sl),
+    plan = _query_plan("rounds", num_seeds, base_seed)
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells], jobs=jobs, cache=cache
     )
     rows = []
-    for name, dataset in QUERIES:
+    for name, cells in plan:
+        samples = [results[cell] for cell in cells]
         row: Dict[str, object] = {"query": name}
-        for algo_name, algorithm in algorithms:
-            samples = []
-            for seed in range(base_seed, base_seed + num_seeds):
-                relation = dataset()
-                result = algorithm(relation, crowd=_crowd(relation, seed))
-                samples.append(result.stats.rounds)
-            row[algo_name] = float(np.mean(samples))
+        for algo_name, _ in _ALGORITHMS:
+            row[algo_name] = float(
+                np.mean([s[algo_name] for s in samples])
+            )
         rows.append(row)
     return rows
 
 
 def latency_rows(
-    num_seeds: int = 3, base_seed: int = 0
+    num_seeds: int = 3, base_seed: int = 0,
+    jobs: int = 1, cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Extension: estimated wall-clock per query and scheduler.
 
@@ -114,68 +213,44 @@ def latency_rows(
     measured per-HIT means) to each run and reports the resulting
     wall-clock hours — the practical reading of Figure 12(b).
     """
-    from repro.crowd.hits import HitLedger
-    from repro.crowd.latency import (
-        SECONDS_PER_HIT_Q1,
-        SECONDS_PER_HIT_Q2,
-        SECONDS_PER_HIT_Q3,
-    )
-
-    hit_seconds = {
-        "Q1": SECONDS_PER_HIT_Q1,
-        "Q2": SECONDS_PER_HIT_Q2,
-        "Q3": SECONDS_PER_HIT_Q3,
-    }
-    algorithms: Sequence = (
-        ("Baseline", baseline_skyline),
-        ("ParallelDSet", parallel_dset),
-        ("ParallelSL", parallel_sl),
+    plan = _query_plan("latency", num_seeds, base_seed)
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells], jobs=jobs, cache=cache
     )
     rows = []
-    for name, dataset in QUERIES:
+    for name, cells in plan:
+        samples = [results[cell] for cell in cells]
         row: Dict[str, object] = {"query": name}
-        for algo_name, algorithm in algorithms:
-            samples = []
-            for seed in range(base_seed, base_seed + num_seeds):
-                relation = dataset()
-                ledger = HitLedger(
-                    seconds_per_hit=hit_seconds[name], seed=seed
-                )
-                crowd = SimulatedCrowd(
-                    relation,
-                    pool=WorkerPool.uniform(accuracy=DEFAULT_WORKER_ACCURACY),
-                    voting=StaticVoting(DEFAULT_OMEGA),
-                    seed=seed,
-                    ledger=ledger,
-                )
-                algorithm(relation, crowd=crowd)
-                samples.append(ledger.wall_clock_seconds() / 3600.0)
-            row[f"{algo_name} (h)"] = float(np.mean(samples))
+        for algo_name, _ in _ALGORITHMS:
+            row[f"{algo_name} (h)"] = float(
+                np.mean([s[algo_name] for s in samples])
+            )
         rows.append(row)
     return rows
 
 
 def accuracy_rows(
-    num_seeds: int = 3, base_seed: int = 0
+    num_seeds: int = 3, base_seed: int = 0,
+    jobs: int = 1, cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """§6.2 accuracy: precision/recall per query, plus skyline labels."""
+    plan = _query_plan("accuracy", num_seeds, base_seed)
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells], jobs=jobs, cache=cache
+    )
     rows = []
-    for name, dataset in QUERIES:
-        precisions, recalls = [], []
-        labels: set = set()
-        for seed in range(base_seed, base_seed + num_seeds):
-            relation = dataset()
-            result = crowdsky(relation, crowd=_crowd(relation, seed))
-            report = precision_recall(result.skyline, relation)
-            precisions.append(report.precision)
-            recalls.append(report.recall)
-            labels = result.skyline_labels(relation)
+    for name, cells in plan:
+        samples = [results[cell] for cell in cells]
         rows.append(
             {
                 "query": name,
-                "precision": float(np.mean(precisions)),
-                "recall": float(np.mean(recalls)),
-                "skyline (last run)": ", ".join(sorted(labels)),
+                "precision": float(
+                    np.mean([s["precision"] for s in samples])
+                ),
+                "recall": float(np.mean([s["recall"] for s in samples])),
+                # Matches the serial implementation: report the labels
+                # retrieved by the last seeded run.
+                "skyline (last run)": ", ".join(samples[-1]["labels"]),
             }
         )
     return rows

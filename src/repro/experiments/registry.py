@@ -22,6 +22,7 @@ from repro.experiments import (
     synthetic_runs,
     tables,
 )
+from repro.experiments.sweep import Cell, CacheLike, run_cells
 
 
 @dataclass
@@ -71,43 +72,65 @@ def _columns(rows: List[Dict[str, Any]]) -> List[str]:
     return columns
 
 
-def _table_experiment(id_: str, title: str, rows_fn) -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
-        rows = rows_fn()
+#: Experiment runner signature: ``run(scale, jobs, cache) -> result``.
+_Runner = Callable[[str, int, CacheLike], ExperimentResult]
+
+_TABLE_ROWS: Dict[str, Callable[[], List[Dict[str, Any]]]] = {
+    "table1": tables.table1_rows,
+    "table2": tables.table2_rows,
+    "table3": tables.table3_rows,
+}
+
+
+def table_cell(config: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Sweep-cell runner for the deterministic toy-data tables."""
+    return _TABLE_ROWS[config["table"]]()
+
+
+TABLE_RUNNER = "repro.experiments.registry:table_cell"
+
+
+def _table_experiment(id_: str, title: str, table_key: str) -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
+        cell = Cell.make(id_, TABLE_RUNNER, {"table": table_key}, 0)
+        rows = run_cells([cell], jobs=jobs, cache=cache)[cell]
         return ExperimentResult(id_, title, _columns(rows), rows)
 
     return run
 
 
 def _questions_experiment(id_: str, title: str, distribution: Distribution,
-                          axis: str) -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
+                          axis: str) -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
         grid = _grid(scale)
         if axis == "n":
             rows = synthetic_runs.questions_vs_cardinality(
                 distribution,
                 cardinalities=grid["cardinalities"],
                 num_seeds=grid["num_seeds"],
+                jobs=jobs, cache=cache,
             )
         elif axis == "num_known":
             rows = synthetic_runs.questions_vs_known(
                 distribution,
                 n=grid["default_n"],
                 num_seeds=grid["num_seeds"],
+                jobs=jobs, cache=cache,
             )
         else:
             rows = synthetic_runs.questions_vs_crowd(
                 distribution,
                 n=grid["default_n"],
                 num_seeds=grid["num_seeds"],
+                jobs=jobs, cache=cache,
             )
         return ExperimentResult(id_, title, _columns(rows), rows)
 
     return run
 
 
-def _rounds_experiment(id_: str, title: str, axis: str) -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
+def _rounds_experiment(id_: str, title: str, axis: str) -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
         grid = _grid(scale)
         rows = []
         for distribution in (
@@ -119,12 +142,14 @@ def _rounds_experiment(id_: str, title: str, axis: str) -> Callable[[str], Exper
                     distribution,
                     cardinalities=grid["cardinalities"],
                     num_seeds=grid["num_seeds"],
+                    jobs=jobs, cache=cache,
                 )
             else:
                 sub = synthetic_runs.rounds_vs_known(
                     distribution,
                     n=grid["default_n"],
                     num_seeds=grid["num_seeds"],
+                    jobs=jobs, cache=cache,
                 )
             for row in sub:
                 row = {"distribution": distribution.value, **row}
@@ -134,8 +159,8 @@ def _rounds_experiment(id_: str, title: str, axis: str) -> Callable[[str], Exper
     return run
 
 
-def _accuracy_experiment(id_: str, title: str, which: str) -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
+def _accuracy_experiment(id_: str, title: str, which: str) -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
         grid = _grid(scale)
         fn = (
             accuracy_runs.voting_accuracy
@@ -145,14 +170,15 @@ def _accuracy_experiment(id_: str, title: str, which: str) -> Callable[[str], Ex
         rows = fn(
             cardinalities=grid["accuracy_cardinalities"],
             num_seeds=grid["num_seeds"],
+            jobs=jobs, cache=cache,
         )
         return ExperimentResult(id_, title, _columns(rows), rows)
 
     return run
 
 
-def _reallife_experiment(id_: str, title: str, which: str) -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
+def _reallife_experiment(id_: str, title: str, which: str) -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
         grid = _grid(scale)
         fn = {
             "cost": reallife_runs.monetary_cost_rows,
@@ -160,14 +186,14 @@ def _reallife_experiment(id_: str, title: str, which: str) -> Callable[[str], Ex
             "accuracy": reallife_runs.accuracy_rows,
             "latency": reallife_runs.latency_rows,
         }[which]
-        rows = fn(num_seeds=grid["num_seeds"])
+        rows = fn(num_seeds=grid["num_seeds"], jobs=jobs, cache=cache)
         return ExperimentResult(id_, title, _columns(rows), rows)
 
     return run
 
 
-def _lofi_experiment() -> Callable[[str], ExperimentResult]:
-    def run(scale: str) -> ExperimentResult:
+def _lofi_experiment() -> _Runner:
+    def run(scale: str, jobs: int, cache: CacheLike) -> ExperimentResult:
         grid = _grid(scale)
         if scale == "paper":
             budgets, n = (0, 20, 40, 80, 160), 120
@@ -177,6 +203,7 @@ def _lofi_experiment() -> Callable[[str], ExperimentResult]:
             budgets, n = (0, 10, 25), 30
         rows = lofi_runs.budget_accuracy_rows(
             n=n, budgets=budgets, num_seeds=grid["num_seeds"],
+            jobs=jobs, cache=cache,
         )
         return ExperimentResult(
             "extra_lofi",
@@ -189,17 +216,17 @@ def _lofi_experiment() -> Callable[[str], ExperimentResult]:
     return run
 
 
-_REGISTRY: Dict[str, Callable[[str], ExperimentResult]] = {
+_REGISTRY: Dict[str, _Runner] = {
     "table1": _table_experiment(
         "table1", "Dominating sets and question sets (toy data)",
-        tables.table1_rows,
+        "table1",
     ),
     "table2": _table_experiment(
         "table2", "Sorted dominating sets after P1 prunings (toy data)",
-        tables.table2_rows,
+        "table2",
     ),
     "table3": _table_experiment(
-        "table3", "ParallelSL round schedule (toy data)", tables.table3_rows,
+        "table3", "ParallelSL round schedule (toy data)", "table3",
     ),
     "fig6a": _questions_experiment(
         "fig6a", "Questions vs cardinality (IND)",
@@ -261,8 +288,18 @@ def available_experiments() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def run_experiment(experiment_id: str, scale: str = "ci") -> ExperimentResult:
+def run_experiment(
+    experiment_id: str,
+    scale: str = "ci",
+    jobs: int = 1,
+    cache: CacheLike = None,
+) -> ExperimentResult:
     """Run one experiment at the given scale.
+
+    ``jobs`` fans the experiment's cells out over worker processes
+    (``0`` = one per CPU); rows are identical to a serial run. ``cache``
+    enables the content-addressed result cache (``True`` for the default
+    directory, or a path / :class:`~repro.experiments.sweep.SweepCache`).
 
     Raises
     ------
@@ -280,4 +317,4 @@ def run_experiment(experiment_id: str, scale: str = "ci") -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(available_experiments())}"
         ) from None
-    return runner(scale)
+    return runner(scale, jobs, cache)

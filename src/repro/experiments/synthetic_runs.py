@@ -13,7 +13,7 @@ several seeds, reporting the same series the paper plots:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.baseline import baseline_skyline
 from repro.core.crowdsky import CrowdSkyConfig, PruningLevel, crowdsky
 from repro.core.parallel import parallel_dset, parallel_sl
 from repro.data.synthetic import Distribution, generate_synthetic
+from repro.experiments.sweep import Cell, CacheLike, run_cells
 
 #: The paper's default grid (Table 4).
 PAPER_CARDINALITIES = (2000, 4000, 6000, 8000, 10000)
@@ -97,28 +98,63 @@ def round_counts(
     return counts
 
 
+def question_cell(config: Dict[str, object], seed: int) -> Dict[str, int]:
+    """Sweep-cell runner for the Figure 6/7 grids (one dataset)."""
+    return question_counts(
+        n=int(config["n"]),
+        num_known=int(config["num_known"]),
+        num_crowd=int(config["num_crowd"]),
+        distribution=Distribution(config["distribution"]),
+        seed=seed,
+    )
+
+
+def round_cell(config: Dict[str, object], seed: int) -> Dict[str, int]:
+    """Sweep-cell runner for the Figure 8/9 grids (one dataset)."""
+    return round_counts(
+        n=int(config["n"]),
+        num_known=int(config["num_known"]),
+        num_crowd=int(config["num_crowd"]),
+        distribution=Distribution(config["distribution"]),
+        seed=seed,
+    )
+
+
+QUESTION_RUNNER = "repro.experiments.synthetic_runs:question_cell"
+ROUND_RUNNER = "repro.experiments.synthetic_runs:round_cell"
+
+
 def _sweep(
-    metric: Callable[..., Dict[str, int]],
+    runner: str,
     x_name: str,
     x_values: Sequence[int],
     fixed: Dict[str, int],
     distribution: Distribution,
     seeds: Sequence[int],
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
+    label = runner.rsplit(":", 1)[-1]
+    plan: List[Tuple[int, List[Cell]]] = []
     for x in x_values:
         params = dict(fixed)
         params[x_name] = x
-        samples = [
-            metric(
-                n=params["n"],
-                num_known=params["num_known"],
-                num_crowd=params["num_crowd"],
-                distribution=distribution,
-                seed=seed,
-            )
-            for seed in seeds
-        ]
+        config = {
+            "n": params["n"],
+            "num_known": params["num_known"],
+            "num_crowd": params["num_crowd"],
+            "distribution": distribution.value,
+        }
+        plan.append(
+            (x, [Cell.make(label, runner, config, seed) for seed in seeds])
+        )
+    results = run_cells(
+        [cell for _, cells in plan for cell in cells],
+        jobs=jobs, cache=cache,
+    )
+    rows: List[Dict[str, object]] = []
+    for x, cells in plan:  # plan order keeps aggregation deterministic
+        samples = [results[cell] for cell in cells]
         row: Dict[str, object] = {x_name: x}
         for series in samples[0]:
             row[series] = _average(sample[series] for sample in samples)
@@ -133,15 +169,19 @@ def questions_vs_cardinality(
     num_crowd: int = PAPER_DEFAULT_CROWD,
     num_seeds: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 6(a) / 7(a): questions vs cardinality."""
     return _sweep(
-        question_counts,
+        QUESTION_RUNNER,
         "n",
         list(cardinalities),
         {"num_known": num_known, "num_crowd": num_crowd, "n": 0},
         distribution,
         _seeds(num_seeds, base_seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -152,15 +192,19 @@ def questions_vs_known(
     num_crowd: int = PAPER_DEFAULT_CROWD,
     num_seeds: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 6(b) / 7(b): questions vs ``|AK|``."""
     return _sweep(
-        question_counts,
+        QUESTION_RUNNER,
         "num_known",
         list(known_dims),
         {"n": n, "num_crowd": num_crowd, "num_known": 0},
         distribution,
         _seeds(num_seeds, base_seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -171,15 +215,19 @@ def questions_vs_crowd(
     num_known: int = PAPER_DEFAULT_KNOWN,
     num_seeds: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 6(c) / 7(c): questions vs ``|AC|``."""
     return _sweep(
-        question_counts,
+        QUESTION_RUNNER,
         "num_crowd",
         list(crowd_dims),
         {"n": n, "num_known": num_known, "num_crowd": 0},
         distribution,
         _seeds(num_seeds, base_seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -190,15 +238,19 @@ def rounds_vs_cardinality(
     num_crowd: int = PAPER_DEFAULT_CROWD,
     num_seeds: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 8: rounds vs cardinality."""
     return _sweep(
-        round_counts,
+        ROUND_RUNNER,
         "n",
         list(cardinalities),
         {"num_known": num_known, "num_crowd": num_crowd, "n": 0},
         distribution,
         _seeds(num_seeds, base_seed),
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -209,13 +261,17 @@ def rounds_vs_known(
     num_crowd: int = PAPER_DEFAULT_CROWD,
     num_seeds: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> List[Dict[str, object]]:
     """Figure 9: rounds vs ``|AK|``."""
     return _sweep(
-        round_counts,
+        ROUND_RUNNER,
         "num_known",
         list(known_dims),
         {"n": n, "num_crowd": num_crowd, "num_known": 0},
         distribution,
         _seeds(num_seeds, base_seed),
+        jobs=jobs,
+        cache=cache,
     )

@@ -65,6 +65,8 @@ ROUND_SIZE = "crowdsky_round_size_questions"
 PHASE_SECONDS = "crowdsky_phase_seconds_total"
 #: Derived gauge: worker assignments per posted question.
 MEAN_VOTES_PER_QUESTION = "crowdsky_mean_votes_per_question"
+#: Sweep cells finished, labelled by ``status`` (computed / cached).
+SWEEP_CELLS = "crowdsky_sweep_cells_total"
 
 #: Bucket upper bounds for :data:`ROUND_SIZE`.
 ROUND_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
@@ -92,6 +94,7 @@ DEFAULT_HELP: Dict[str, str] = {
     ROUND_SIZE: "Questions per executed round",
     PHASE_SECONDS: "Wall seconds spent per instrumented phase",
     MEAN_VOTES_PER_QUESTION: "Worker assignments per posted question",
+    SWEEP_CELLS: "Sweep cells finished, by status",
 }
 
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -280,6 +283,68 @@ class MetricsRegistry:
             else:
                 out[f"{series.name}{rendered}"] = float(series.value)
         return out
+
+    # -- cross-process merging ----------------------------------------------
+
+    def dump(self) -> List[Dict[str, Any]]:
+        """Serialize every series to JSON-able dicts (for shipping a
+        worker process's registry back to the parent; see
+        :meth:`absorb`)."""
+        out: List[Dict[str, Any]] = []
+        for series in self.series():
+            record: Dict[str, Any] = {
+                "kind": series.kind,
+                "name": series.name,
+                "help": series.help,
+                "labels": [list(pair) for pair in series.labels],
+            }
+            if isinstance(series, Histogram):
+                record["buckets"] = list(series.buckets)
+                record["counts"] = list(series.counts)
+                record["sum"] = series.sum
+                record["count"] = series.count
+            else:
+                record["value"] = series.value
+            out.append(record)
+        return out
+
+    def absorb(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Merge a :meth:`dump` from another registry into this one.
+
+        Counters and gauges add their values; histograms add per-bucket
+        counts (boundaries must match). Used to fold worker-process
+        metrics into the parent observation after a parallel sweep.
+        """
+        for record in records:
+            labels = {k: v for k, v in record.get("labels", [])}
+            kind = record.get("kind")
+            name = record["name"]
+            help_text = record.get("help", "")
+            if kind == "histogram":
+                series = self.histogram(
+                    name, help_text,
+                    buckets=tuple(record["buckets"]), **labels,
+                )
+                if list(series.buckets) != [
+                    float(b) for b in record["buckets"]
+                ]:
+                    raise ObservabilityError(
+                        f"histogram {name!r} bucket mismatch on absorb"
+                    )
+                for index, count in enumerate(record["counts"]):
+                    series.counts[index] += count
+                series.sum += record["sum"]
+                series.count += record["count"]
+            elif kind == "gauge":
+                self.gauge(name, help_text, **labels).inc(record["value"])
+            elif kind == "counter":
+                self.counter(name, help_text, **labels).inc(
+                    record["value"]
+                )
+            else:
+                raise ObservabilityError(
+                    f"cannot absorb series of kind {kind!r}"
+                )
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition of every series."""

@@ -149,6 +149,40 @@ class Tracer:
         """A nestable traced region; use as ``with tracer.span(...):``."""
         return Span(self, name, attrs)
 
+    def absorb(self, events: List[Dict[str, Any]]) -> None:
+        """Splice another tracer's recorded events into this trace.
+
+        Used to fold a worker process's trace into the parent after a
+        parallel sweep: span ids are remapped through this tracer's
+        counter (so they stay unique), top-level records are reparented
+        under the currently open span, and every record is re-stamped at
+        the absorption instant — relative ordering survives, per-event
+        durations inside the absorbed region do not.
+        """
+        if not events:
+            return
+        now = self._now()
+        current = self._current.get()
+        mapping: Dict[int, int] = {}
+
+        def remap(span_id: Optional[int]) -> Optional[int]:
+            if span_id is None:
+                return current
+            new = mapping.get(span_id)
+            if new is None:
+                new = mapping[span_id] = self._next_id()
+            return new
+
+        for record in events:
+            self._emit(
+                now,
+                record["kind"],
+                record["name"],
+                remap(record["span"]),
+                remap(record["parent"]),
+                record["attrs"],
+            )
+
 
 class _NoOpSpan:
     """Inert stand-in so ``with NOOP_TRACER.span(...) as s`` works."""

@@ -38,6 +38,20 @@ class TestBuildContext:
         assert context.removed == {0}
         assert 0 not in context.eval_order()
 
+    def test_eval_order_memo_invalidates_on_removed(self):
+        relation = make_relation(
+            [(1, 1), (2, 2), (3, 3)],
+            [(1,), (2,), (3,)],
+        )
+        context = build_context(relation)
+        first = context.eval_order()
+        assert context.eval_order() == first
+        # The memo hands out copies: mutating one must not poison it.
+        context.eval_order().append(99)
+        assert context.eval_order() == first
+        context.removed.add(first[0])
+        assert first[0] not in context.eval_order()
+
     def test_ds_in_eval_order_sorted_by_ds_size(self, toy):
         context = build_context(toy)
         j = toy.index_of("j")
@@ -81,6 +95,20 @@ class TestPreprocessDuplicates:
         crowd = SimulatedCrowd(relation)
         prefs = PreferenceSystem(2, 2)
         assert preprocess_duplicates(relation, crowd, prefs) == set()
+
+    def test_interleaved_groups_keep_first_occurrence_order(self):
+        # Two AK-duplicate groups interleaved in tuple order; grouping
+        # via np.unique must still visit them in first-occurrence order
+        # with ascending members (question order feeds the seeded RNG).
+        relation = make_relation(
+            [(2, 2), (1, 1), (2, 2), (1, 1)],
+            [(2,), (9,), (1,), (3,)],
+        )
+        crowd = SimulatedCrowd(relation)
+        prefs = PreferenceSystem(4, 1)
+        removed = preprocess_duplicates(relation, crowd, prefs)
+        assert removed == {0, 1}
+        assert crowd.stats.questions == 2
 
 
 class TestSeedVisiblePreferences:
