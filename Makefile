@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint-clean
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep test-analysis regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint lint-baseline
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -30,6 +30,22 @@ test-perf-core:
 # Sweep engine: parallel/serial differential, result cache, obs merging.
 test-sweep:
 	pytest tests/test_sweep.py -m sweep -q
+
+# Invariant-linter suite: rule fixtures, suppression/baseline
+# round-trip, JSON schema, self-clean gate, Hypothesis crash-safety.
+test-analysis:
+	pytest tests/test_analysis.py -m analysis -q
+
+# Static invariant gate: determinism, layering, obs-schema,
+# cache-purity and exception hygiene over src/, modulo the committed
+# baseline (docs/static-analysis.md). Fails on any new finding.
+lint:
+	PYTHONPATH=src python -m repro.analysis check src --baseline analysis-baseline.json
+
+# Regenerate analysis-baseline.json after an intentional grandfathering
+# change — then write a rationale into every new entry and commit.
+lint-baseline:
+	PYTHONPATH=src python -m repro.analysis baseline src --baseline analysis-baseline.json --write
 
 # Refresh tests/fixtures/golden_counts.json after an intentional
 # behaviour change (then commit the diff).
@@ -63,9 +79,11 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
 
 # Record a small traced IND run, then validate the JSONL trace against
-# the event schema and cross-check it against the metrics dump.
+# the event schema and cross-check it against the metrics dump. Runs
+# with REPRO_OBS_STRICT=1 so an unregistered event name fails at
+# emission time instead of at validation time.
 trace-demo:
-	python -m repro.experiments run fig6a --scale smoke --no-cache \
+	REPRO_OBS_STRICT=1 python -m repro.experiments run fig6a --scale smoke --no-cache \
 		--trace trace-demo.jsonl --metrics trace-demo.prom
 	python -m repro.experiments trace validate trace-demo.jsonl \
 		--metrics trace-demo.prom

@@ -1,0 +1,71 @@
+"""``repro.analysis`` — AST-based invariant linter for this codebase.
+
+The reproduction's correctness contracts — byte-identical
+parallel/serial sweeps, a content-addressed result cache, a validated
+trace schema, a strict package DAG — are runtime guarantees that
+nothing enforced *statically* until now. This package is a
+stdlib-``ast`` linter with project-specific rules grouped into five
+families (see :mod:`repro.analysis.rules` for the full table):
+
+* **determinism** (RA001-RA003) — no wall clocks, no unseeded
+  randomness, no set-ordering hazards in ``repro.core`` /
+  ``repro.crowd`` / ``repro.experiments``;
+* **layering** (RA004) — the package import DAG; nothing imports
+  ``repro.experiments`` back and ``repro.obs`` stays a leaf;
+* **obs-schema** (RA005-RA007) — emitted trace-event names and the
+  ``EVENT_ATTRS`` registry agree in both directions; metric names come
+  from the canonical constants;
+* **cache-purity** (RA008-RA009) — sweep cell runners resolve to
+  module-level, environment-free functions without mutable defaults;
+* **exception hygiene** (RA010-RA011) — no bare or silent ``except``.
+
+Findings can be suppressed inline (``# repro: noqa RA003 -
+rationale``) or grandfathered in the committed baseline
+(``analysis-baseline.json``); the ``check`` gate fails on anything
+else, keeping the tree self-clean. The package imports nothing from
+the rest of ``repro`` and never executes analyzed code.
+
+Usage::
+
+    python -m repro.analysis check src/          # or `make lint`
+    python -m repro.analysis rules
+    python -m repro.analysis baseline src/ --write
+
+Programmatic::
+
+    from repro.analysis import analyze_paths
+    findings, problems = analyze_paths(["src"])
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    entries_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    SourceModule,
+    analyze_modules,
+    analyze_paths,
+    load_paths,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import all_rules, get_rule
+
+__all__ = [
+    "AnalysisConfig",
+    "BaselineEntry",
+    "Finding",
+    "SourceModule",
+    "all_rules",
+    "analyze_modules",
+    "analyze_paths",
+    "apply_baseline",
+    "entries_from_findings",
+    "get_rule",
+    "load_baseline",
+    "load_paths",
+    "save_baseline",
+]

@@ -1,0 +1,210 @@
+"""The committed suppression baseline.
+
+The baseline grandfathers known violations so the ``check`` gate can
+demand *zero new findings* from day one. It is a JSON file of entries::
+
+    {"version": 1,
+     "entries": [{"code": "RA004", "path": "src/repro/...",
+                  "context": "<stripped source line>",
+                  "rationale": "why this violation is accepted"}]}
+
+An entry matches a finding by ``(code, normalized path, context)`` —
+the *source line text*, not the line number, so baselined findings
+survive unrelated edits above them. ``check`` enforces baseline
+hygiene itself: entries without a written rationale and entries that
+no longer match anything (stale) are reported as ``RA000`` findings,
+so the baseline can only shrink honestly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.findings import Finding, SEVERITY_ERROR
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline filename (repo root).
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+#: Pseudo-code for baseline-hygiene findings emitted by ``check``.
+BASELINE_CODE = "RA000"
+
+#: Rationale placeholder written by ``baseline --write`` for new
+#: entries; ``check`` refuses it until a human replaces it.
+TODO_RATIONALE = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    code: str
+    path: str
+    context: str
+    rationale: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, _normalize(self.path), self.context)
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "context": self.context,
+            "rationale": self.rationale,
+        }
+
+
+def _normalize(path: str) -> str:
+    return Path(path).as_posix().lstrip("./")
+
+
+def _path_matches(a: str, b: str) -> bool:
+    """Whether two paths name the same file, tolerating different
+    invocation roots (``src/repro/x.py`` vs ``/repo/src/repro/x.py``)."""
+    a, b = _normalize(a), _normalize(b)
+    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Read a baseline file; missing file means an empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return []
+    data = json.loads(file.read_text(encoding="utf-8"))
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                code=str(raw.get("code", "")),
+                path=str(raw.get("path", "")),
+                context=str(raw.get("context", "")),
+                rationale=str(raw.get("rationale", "")),
+            )
+        )
+    return entries
+
+
+def save_baseline(
+    path: Union[str, Path], entries: Iterable[BaselineEntry]
+) -> None:
+    """Write a baseline file (sorted, trailing newline, stable diffs)."""
+    ordered = sorted(entries, key=BaselineEntry.key)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_json() for entry in ordered],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    new: List[Finding]
+    matched: List[Finding]
+    stale: List[BaselineEntry]
+    missing_rationale: List[BaselineEntry]
+
+    def gate_findings(self) -> List[Finding]:
+        """Everything the ``check`` gate fails on: new findings plus
+        RA000 hygiene findings for stale / rationale-less entries."""
+        out = list(self.new)
+        for entry in self.missing_rationale:
+            out.append(
+                Finding(
+                    code=BASELINE_CODE,
+                    path=entry.path,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"baseline entry for {entry.code} has no "
+                        "written rationale; justify it or fix the "
+                        "violation"
+                    ),
+                    severity=SEVERITY_ERROR,
+                    context=entry.context,
+                    family="baseline",
+                )
+            )
+        for entry in self.stale:
+            out.append(
+                Finding(
+                    code=BASELINE_CODE,
+                    path=entry.path,
+                    line=0,
+                    col=0,
+                    message=(
+                        f"stale baseline entry: {entry.code} no longer "
+                        "fires at this context; remove the entry"
+                    ),
+                    severity=SEVERITY_ERROR,
+                    context=entry.context,
+                    family="baseline",
+                )
+            )
+        return out
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[BaselineEntry]
+) -> BaselineResult:
+    """Split findings into baselined and new, and audit the entries."""
+    table: Dict[Tuple[str, str], List[BaselineEntry]] = {}
+    for entry in entries:
+        table.setdefault((entry.code, entry.context), []).append(entry)
+    used = set()
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        candidates = table.get((finding.code, finding.context), [])
+        entry = next(
+            (e for e in candidates if _path_matches(finding.path, e.path)),
+            None,
+        )
+        if entry is not None:
+            used.add(entry.key())
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = [e for e in entries if e.key() not in used]
+    missing = [
+        e for e in entries
+        if e.key() in used
+        and (not e.rationale.strip() or e.rationale.startswith("TODO"))
+    ]
+    return BaselineResult(
+        new=new, matched=matched, stale=stale, missing_rationale=missing
+    )
+
+
+def entries_from_findings(
+    findings: Iterable[Finding],
+    existing: Iterable[BaselineEntry] = (),
+) -> List[BaselineEntry]:
+    """Baseline entries covering ``findings``, keeping rationales of
+    existing entries that still match; new entries get the TODO
+    placeholder."""
+    rationales = {entry.key(): entry.rationale for entry in existing}
+    out: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        entry = BaselineEntry(
+            code=finding.code,
+            path=_normalize(finding.path),
+            context=finding.context,
+            rationale="",
+        )
+        kept = rationales.get(entry.key(), "")
+        out[entry.key()] = BaselineEntry(
+            code=entry.code,
+            path=entry.path,
+            context=entry.context,
+            rationale=kept or TODO_RATIONALE,
+        )
+    return sorted(out.values(), key=BaselineEntry.key)

@@ -1,0 +1,200 @@
+"""``python -m repro.analysis`` / ``repro-analysis`` — the linter CLI.
+
+Subcommands::
+
+    check [PATHS...]     run the rules; exit 1 on non-baselined findings
+    rules                list the rule registry
+    baseline [PATHS...]  regenerate the suppression baseline
+
+``check`` exits 0 only when the tree is clean modulo the committed
+baseline *and* the baseline itself is healthy (every entry matches a
+live finding and carries a written rationale). Output is human text by
+default; ``--format json`` emits a stable machine-readable document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    entries_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import all_rules
+
+#: JSON output document version.
+JSON_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description=(
+            "AST-based invariant linter: determinism, layering, "
+            "obs-schema conformance, sweep-cache purity, exception "
+            "hygiene (docs/static-analysis.md)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser(
+        "check", help="run the rules and gate on new findings"
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"suppression baseline file (default: {DEFAULT_BASELINE})",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report every finding)",
+    )
+    check.add_argument(
+        "--select", default="",
+        help="comma-separated rule codes to run (default: all)",
+    )
+
+    rules = sub.add_parser("rules", help="list the rule registry")
+    rules.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+
+    baseline = sub.add_parser(
+        "baseline", help="regenerate the suppression baseline"
+    )
+    baseline.add_argument("paths", nargs="*", default=["src"])
+    baseline.add_argument("--baseline", default=DEFAULT_BASELINE)
+    baseline.add_argument(
+        "--write", action="store_true",
+        help="write the baseline file (default: print what would be)",
+    )
+    baseline.add_argument("--select", default="")
+    return parser
+
+
+def _select(raw: str) -> Optional[List[str]]:
+    codes = [code.strip() for code in raw.split(",") if code.strip()]
+    return codes or None
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    findings, problems = analyze_paths(
+        args.paths, AnalysisConfig(), _select(args.select)
+    )
+    if args.no_baseline:
+        gate = list(findings)
+        matched = 0
+    else:
+        result = apply_baseline(findings, load_baseline(args.baseline))
+        gate = result.gate_findings()
+        matched = len(result.matched)
+
+    if args.format == "json":
+        document = {
+            "version": JSON_VERSION,
+            "findings": [finding.to_json() for finding in gate],
+            "errors": [
+                {"path": problem.path, "message": problem.message}
+                for problem in problems
+            ],
+            "summary": {
+                "checked_paths": list(args.paths),
+                "findings": len(gate),
+                "baselined": matched,
+                "parse_errors": len(problems),
+            },
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for problem in problems:
+            print(f"{problem.path}: parse error: {problem.message}",
+                  file=sys.stderr)
+        for finding in gate:
+            print(finding.render())
+        if gate:
+            print(
+                f"\n{len(gate)} finding(s)"
+                + (f" ({matched} baselined)" if matched else "")
+            )
+        else:
+            suffix = f" ({matched} baselined)" if matched else ""
+            print(f"clean{suffix}")
+    return 1 if gate or problems else 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.format == "json":
+        print(json.dumps({
+            "version": JSON_VERSION,
+            "rules": [
+                {
+                    "code": rule.code,
+                    "family": rule.family,
+                    "severity": rule.severity,
+                    "summary": rule.summary,
+                }
+                for rule in rules
+            ],
+        }, indent=2))
+    else:
+        for rule in rules:
+            print(f"{rule.code}  {rule.family:<18} "
+                  f"[{rule.severity}] {rule.summary}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    findings, problems = analyze_paths(
+        args.paths, AnalysisConfig(), _select(args.select)
+    )
+    for problem in problems:
+        print(f"{problem.path}: parse error: {problem.message}",
+              file=sys.stderr)
+    existing = load_baseline(args.baseline)
+    entries = entries_from_findings(findings, existing)
+    if args.write:
+        save_baseline(args.baseline, entries)
+        print(
+            f"wrote {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+            f"to {args.baseline}"
+        )
+        todo = [e for e in entries if e.rationale.startswith("TODO")]
+        if todo:
+            print(
+                f"{len(todo)} entr{'y needs' if len(todo) == 1 else 'ies need'} "
+                "a written rationale before `check` passes",
+                file=sys.stderr,
+            )
+    else:
+        for entry in entries:
+            print(f"{entry.code} {entry.path}: {entry.context!r}"
+                  f" — {entry.rationale}")
+        print(f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}"
+              " (use --write to persist)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "rules":
+        return _cmd_rules(args)
+    return _cmd_baseline(args)

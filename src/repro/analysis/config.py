@@ -1,0 +1,109 @@
+"""Project-specific configuration of the invariant linter.
+
+The rules themselves are generic AST passes; everything that names this
+codebase — which packages must be deterministic, the import DAG, where
+the trace-event registry lives — is fixed here so tests can analyze
+synthetic module trees under a custom configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+#: The enforced import DAG, as "top-level package -> packages it may
+#: import from". This is the *actual* architecture of the codebase
+#: (see docs/static-analysis.md for the diagram): the crowd platform is
+#: a primitive that ``sorting``/``core`` orchestrate, ``experiments``
+#: sits on top of everything, and nothing may import ``experiments``
+#: back. ``obs`` is importable from anywhere but must itself stay a
+#: leaf over ``exceptions`` only — observability can never feed back
+#: into algorithm behaviour. The root package (``repro/__init__``) is
+#: spelled ``""``; the bare ``import repro`` dependency is spelled
+#: ``"repro"``.
+DEFAULT_LAYERS: Dict[str, FrozenSet[str]] = {
+    "exceptions": frozenset(),
+    "skyline": frozenset({"exceptions"}),
+    "data": frozenset({"exceptions"}),
+    "obs": frozenset({"exceptions"}),
+    "incomplete": frozenset({"exceptions", "skyline", "data"}),
+    "metrics": frozenset({"exceptions", "skyline", "data"}),
+    "crowd": frozenset({"exceptions", "skyline", "data", "obs"}),
+    # Intended: sorting is a machine-side algorithm layer beside
+    # skyline/data. Its existing imports of repro.crowd (the
+    # Preference vocabulary and the comparator-driven platform) are
+    # grandfathered in analysis-baseline.json until the question
+    # vocabulary is hoisted below it.
+    "sorting": frozenset({"exceptions", "skyline", "data", "obs"}),
+    "core": frozenset(
+        {"exceptions", "skyline", "data", "obs", "crowd", "sorting"}
+    ),
+    "query": frozenset(
+        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
+         "core"}
+    ),
+    "experiments": frozenset(
+        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
+         "core", "query", "incomplete", "metrics", "repro"}
+    ),
+    # The linter itself: pure stdlib, no repro dependencies at all.
+    "analysis": frozenset(),
+    # repro/__init__ re-exports the public API but must not pull in the
+    # experiment harness (or the linter) at import time.
+    "": frozenset(
+        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
+         "core", "query", "incomplete", "metrics"}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs the rules consult; defaults describe this repository."""
+
+    #: Root package name all scoped rules key off.
+    root_package: str = "repro"
+
+    #: Packages whose modules must be reproducible bit-for-bit: the
+    #: determinism rules (RA001-RA003) only fire inside these.
+    deterministic_packages: Tuple[str, ...] = (
+        "repro.core",
+        "repro.crowd",
+        "repro.experiments",
+    )
+
+    #: Import DAG enforced by RA004 (top-level package -> allowed deps).
+    layers: Dict[str, FrozenSet[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+
+    #: Module holding the trace-event registry (``EVENT_ATTRS``).
+    schema_module: str = "repro.obs.schema"
+    #: Name of the registry mapping inside :attr:`schema_module`.
+    schema_registry: str = "EVENT_ATTRS"
+    #: Module fixing the canonical metric-name constants.
+    metrics_module: str = "repro.obs.metrics"
+    #: Prefix canonical metric names share.
+    metric_prefix: str = "crowdsky_"
+
+    #: Cell-runner strings (``"module:function"``) are checked when the
+    #: module part starts with this prefix.
+    runner_prefix: str = "repro."
+
+    def deterministic(self, module_name: str) -> bool:
+        """Whether a dotted module name falls under RA001-RA003."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.deterministic_packages
+        )
+
+    def top_package(self, module_name: str) -> str:
+        """``repro.core.engine`` -> ``core``; root modules map to their
+        own name (``repro.exceptions`` -> ``exceptions``); the root
+        package itself maps to ``""``."""
+        root = self.root_package
+        if module_name == root:
+            return ""
+        if not module_name.startswith(root + "."):
+            return module_name.partition(".")[0]
+        return module_name[len(root) + 1:].partition(".")[0]

@@ -1,0 +1,243 @@
+"""Analysis engine: load modules, run rules, apply suppressions.
+
+The engine is deliberately import-free with respect to the code under
+analysis — everything is derived from source text via :mod:`ast`, so
+the linter can check trees that are not importable in the current
+process (fixtures, other checkouts) and can never execute project
+code.
+
+Suppression syntax: a finding is suppressed when the physical line it
+points at (or the first line of its enclosing statement) carries a
+``# repro: noqa`` comment — bare (suppress every code on that line) or
+with codes, e.g. ``# repro: noqa RA003,RA011 - rationale``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleRule, ProjectRule, all_rules
+
+#: Matches a suppression comment anywhere in a line's comment trailer.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>(?:\s+RA\d{3}(?:\s*,\s*RA\d{3})*)?)",
+    re.IGNORECASE,
+)
+
+
+@dataclass
+class SourceModule:
+    """One parsed module of the tree under analysis."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_at(self, lineno: int) -> str:
+        """The stripped source line (1-based); '' out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    @staticmethod
+    def parse(
+        name: str, source: str, path: str = "<string>"
+    ) -> "SourceModule":
+        """Parse source text into an analyzable module."""
+        return SourceModule(
+            name=name, path=path, source=source,
+            tree=ast.parse(source),
+        )
+
+
+@dataclass
+class SyntaxProblem:
+    """A file that could not be parsed (reported, never fatal)."""
+
+    path: str
+    message: str
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a file, walking ``__init__.py`` packages.
+
+    ``src/repro/core/engine.py`` -> ``repro.core.engine``;
+    a stray file outside any package maps to its bare stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts:
+        return path.stem
+    return ".".join(reversed(parts))
+
+
+def load_paths(
+    paths: Sequence[Union[str, Path]],
+) -> "tuple[List[SourceModule], List[SyntaxProblem]]":
+    """Collect and parse every ``.py`` file under the given paths.
+
+    Files are discovered in sorted order (the linter obeys its own
+    ordering rule). Unparseable files become :class:`SyntaxProblem`
+    records instead of aborting the run.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    modules: List[SourceModule] = []
+    problems: List[SyntaxProblem] = []
+    seen: Set[Path] = set()
+    for file in files:
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (OSError, SyntaxError, ValueError) as error:
+            problems.append(SyntaxProblem(str(file), str(error)))
+            continue
+        modules.append(
+            SourceModule(
+                name=module_name_for(file),
+                path=str(file),
+                source=source,
+                tree=tree,
+            )
+        )
+    return modules, problems
+
+
+# -- suppression -------------------------------------------------------------
+
+
+def _suppressions(module: SourceModule) -> Dict[int, Optional[Set[str]]]:
+    """``{line: codes-or-None}``; ``None`` means every code."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for number, line in enumerate(module.lines, start=1):
+        if "#" not in line:
+            continue
+        match = NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes").strip()
+        if codes:
+            out[number] = {
+                code.strip().upper()
+                for code in re.split(r"[,\s]+", codes)
+                if code.strip()
+            }
+        else:
+            out[number] = None
+    return out
+
+
+def _statement_lines(module: SourceModule, lineno: int) -> Set[int]:
+    """Lines a finding at ``lineno`` may be suppressed from: its own
+    line plus the first line of the innermost statement containing it
+    (so a noqa on ``except OSError:`` covers the handler body)."""
+    lines = {lineno}
+    best: Optional[ast.AST] = None
+    for node in ast.walk(module.tree):
+        start = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if start is None or end is None:
+            continue
+        if not isinstance(node, (ast.stmt, ast.excepthandler)):
+            continue
+        if start <= lineno <= end:
+            if best is None or start > getattr(best, "lineno", 0):
+                best = node
+    if best is not None:
+        lines.add(best.lineno)
+    return lines
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: List[SourceModule]
+) -> List[Finding]:
+    """Drop findings covered by an inline ``# repro: noqa`` comment."""
+    by_path = {module.path: module for module in modules}
+    kept: List[Finding] = []
+    cache: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is None:
+            kept.append(finding)
+            continue
+        if finding.path not in cache:
+            cache[finding.path] = _suppressions(module)
+        table = cache[finding.path]
+        suppressed = False
+        if table:
+            for line in _statement_lines(module, finding.line):
+                if line in table:
+                    codes = table[line]
+                    if codes is None or finding.code in codes:
+                        suppressed = True
+                        break
+        if not suppressed:
+            kept.append(finding)
+    return kept
+
+
+# -- analysis ----------------------------------------------------------------
+
+
+def analyze_modules(
+    modules: List[SourceModule],
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every (selected) rule over parsed modules; suppressions
+    applied; findings sorted by location."""
+    config = config or AnalysisConfig()
+    wanted = {code.upper() for code in select} if select else None
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if wanted is not None and rule.code not in wanted:
+            continue
+        if isinstance(rule, ModuleRule):
+            for module in modules:
+                findings.extend(rule.check_module(module, config))
+        elif isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(modules, config))
+    if wanted is not None:
+        # Rules sharing one pass (RA005/RA006) may emit under a code
+        # other than their own; honor the selection on findings too.
+        findings = [f for f in findings if f.code in wanted]
+    findings = apply_suppressions(findings, modules)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> "tuple[List[Finding], List[SyntaxProblem]]":
+    """Load ``.py`` files under ``paths`` and analyze them."""
+    modules, problems = load_paths(paths)
+    return analyze_modules(modules, config, select), problems

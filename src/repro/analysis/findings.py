@@ -1,0 +1,61 @@
+"""Finding model for the invariant linter.
+
+A :class:`Finding` is one rule violation at one source location. The
+tuple ``(path, line, col, code)`` identifies it for sorting and display;
+``context`` — the stripped source line the finding points at — is what
+the suppression baseline matches on, so baselined findings survive
+unrelated line-number drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Finding severities, in increasing order of concern. Both fail the
+#: ``check`` gate; the distinction is informational (warnings flag
+#: contracts that are enforceable but advisory, e.g. a registered event
+#: name nothing emits).
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+SEVERITIES = (SEVERITY_WARNING, SEVERITY_ERROR)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+    #: The stripped source line at ``line`` (baseline match key).
+    context: str = ""
+    #: Rule family slug (``determinism``, ``layering``, ...).
+    family: str = ""
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE [severity] message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-able dict (the ``--format json`` finding shape)."""
+        return {
+            "code": self.code,
+            "family": self.family,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }

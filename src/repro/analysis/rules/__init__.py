@@ -1,0 +1,46 @@
+"""Rule registry for the invariant linter.
+
+Importing this package registers every built-in rule; use
+:func:`all_rules` / :func:`get_rule` to enumerate them. Codes are
+stable (``RA001``...) and grouped into five families:
+
+========  ==================  =========================================
+code      family              invariant
+========  ==================  =========================================
+RA001     determinism         no wall-clock reads
+RA002     determinism         no unseeded randomness
+RA003     determinism         no set-iteration / unsorted listings
+RA004     layering            package import DAG
+RA005     obs-schema          emitted event names are registered
+RA006     obs-schema          registered event names are emitted
+RA007     obs-schema          metric names come from the constants
+RA008     cache-purity        runners are module-level and env-free
+RA009     cache-purity        runners take no mutable defaults
+RA010     exception-hygiene   no bare ``except:``
+RA011     exception-hygiene   no silent exception swallows
+========  ==================  =========================================
+"""
+
+from repro.analysis.rules.base import (
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
+
+# Importing the rule modules registers their rules (order fixes the
+# registry; keep alphabetical by family file).
+from repro.analysis.rules import determinism  # noqa: F401
+from repro.analysis.rules import hygiene  # noqa: F401
+from repro.analysis.rules import layering  # noqa: F401
+from repro.analysis.rules import obs_schema  # noqa: F401
+from repro.analysis.rules import purity  # noqa: F401
+
+__all__ = [
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+]

@@ -1,0 +1,190 @@
+"""Rule plumbing: the base classes, the registry and AST helpers.
+
+A rule is a stateless object with a stable ``code`` (``RA001``...),
+a ``family`` slug, and either a per-module pass (:class:`ModuleRule`,
+sees one parsed module at a time) or a whole-project pass
+(:class:`ProjectRule`, sees every module — for cross-module contracts
+like the import DAG or schema/emission cross-checks). Register each
+concrete rule with :func:`register`; :func:`all_rules` returns them in
+code order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, SEVERITY_ERROR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import SourceModule
+
+
+class Rule:
+    """Base class: metadata plus the finding factory."""
+
+    code: str = ""
+    family: str = ""
+    severity: str = SEVERITY_ERROR
+    #: One-line description shown by ``repro-analysis rules``.
+    summary: str = ""
+
+    def finding(
+        self,
+        module: "SourceModule",
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        """A finding anchored at ``node`` inside ``module``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=self.code,
+            path=module.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity or self.severity,
+            context=module.line_at(line),
+            family=self.family,
+        )
+
+
+class ModuleRule(Rule):
+    """Rule checked one module at a time."""
+
+    def check_module(
+        self, module: "SourceModule", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """Rule needing the whole scanned tree at once."""
+
+    def check_project(
+        self, modules: List["SourceModule"], config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Optional[Rule]:
+    """The registered rule for ``code``, if any."""
+    return _REGISTRY.get(code)
+
+
+# -- AST helpers -------------------------------------------------------------
+
+
+def import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local alias -> dotted origin for every import in ``tree``.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from time import time as now`` yields ``{"now": "time.time"}``.
+    Star imports are ignored (nothing resolvable to track).
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds the top package name `a`.
+                    top = alias.name.partition(".")[0]
+                    mapping[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def resolved_name(
+    node: ast.AST, imports: Dict[str, str]
+) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted origin name.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` resolves to
+    ``"numpy.random.default_rng"``; an unimported bare name resolves to
+    itself (so builtins like ``set`` and ``sorted`` keep their names);
+    anything rooted in a call/subscript resolves to ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = imports.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def call_name(
+    node: ast.Call, imports: Dict[str, str]
+) -> Optional[str]:
+    """The resolved dotted name a call targets, if statically known."""
+    return resolved_name(node.func, imports)
+
+
+def walk_with_parents(tree: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` that first stamps every child's ``parent``."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+    return ast.walk(tree)
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    """The parent stamped by :func:`walk_with_parents` (None at root)."""
+    return getattr(node, "_repro_parent", None)
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    """The value of a string-constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def literal_strs(node: ast.AST) -> List[str]:
+    """String values statically producible by ``node``.
+
+    Handles plain constants and conditional expressions whose branches
+    are both string constants (``"a" if flag else "b"``); anything else
+    yields an empty list (dynamically computed — not checkable).
+    """
+    value = literal_str(node)
+    if value is not None:
+        return [value]
+    if isinstance(node, ast.IfExp):
+        branches = literal_strs(node.body) + literal_strs(node.orelse)
+        if len(branches) == 2:
+            return branches
+    return []

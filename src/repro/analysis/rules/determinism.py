@@ -1,0 +1,307 @@
+"""Determinism rules (RA001-RA003).
+
+The sweep engine's byte-identical parallel/serial guarantee and its
+content-addressed cache assume every cell is a pure function of
+``(runner, config, seed)``. These rules statically forbid the three
+ways that silently breaks inside the deterministic packages
+(``repro.core`` / ``repro.crowd`` / ``repro.experiments``):
+
+* **RA001** — wall-clock reads (``time.time()``, ``datetime.now()``,
+  ...). Monotonic clocks (``perf_counter``) are allowed: they feed
+  durations, not result data, and the obs layer owns them.
+* **RA002** — unseeded randomness: module-level ``random.*`` /
+  ``numpy.random.*`` functions (global-state RNGs) and
+  ``default_rng()`` / ``Random()`` without an explicit seed.
+* **RA003** — ordering hazards: iterating or materializing a ``set``
+  (salted hashing makes the order vary per process), and directory
+  listings (``os.listdir``, ``glob.glob``, ``Path.iterdir``) not
+  wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ModuleRule,
+    call_name,
+    import_map,
+    parent_of,
+    register,
+    walk_with_parents,
+)
+
+#: Wall-clock reads (resolved dotted call targets).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Seed-taking numpy constructors (fine when given an argument).
+NUMPY_SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.BitGenerator",
+})
+
+#: Directory-listing calls whose order is filesystem-dependent.
+LISTING_CALLS = frozenset({
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+})
+LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Order-insensitive consumers a set may flow into.
+ORDER_SAFE_CALLS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset", "bool",
+})
+#: Order-sensitive materializers.
+ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Whether ``node`` statically evaluates to a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # set algebra: s | t, s & t, s - t ...
+        return _is_set_expr(node.left, set_names) and _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _set_typed_names(func: ast.AST) -> Set[str]:
+    """Names assigned *only* set expressions within ``func``'s body.
+
+    Deliberately conservative: a single non-set (re)assignment removes
+    the name, and only simple ``name = ...`` targets are tracked.
+    """
+    candidates: Set[str] = set()
+    disqualified: Set[str] = set()
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = None  # |= keeps the type; treat as neutral
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if value is None:
+                continue
+            if _is_set_expr(value, candidates):
+                candidates.add(target.id)
+            else:
+                disqualified.add(target.id)
+    return candidates - disqualified
+
+
+@register
+class WallClockRule(ModuleRule):
+    """RA001: wall-clock reads in deterministic packages."""
+
+    code = "RA001"
+    family = "determinism"
+    summary = (
+        "wall-clock read (time.time/datetime.now/...) in a "
+        "deterministic package; only repro.obs may read clocks"
+    )
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        if not config.deterministic(module.name):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, imports)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read `{name}()` breaks run "
+                    "reproducibility; derive timestamps in repro.obs "
+                    "or pass them in explicitly",
+                )
+
+
+@register
+class UnseededRandomRule(ModuleRule):
+    """RA002: unseeded / global-state randomness."""
+
+    code = "RA002"
+    family = "determinism"
+    summary = (
+        "unseeded randomness (module-level random/numpy.random use, "
+        "default_rng() without a seed) in a deterministic package"
+    )
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        if not config.deterministic(module.name):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, imports)
+            if name is None:
+                continue
+            if name in NUMPY_SEEDED_CONSTRUCTORS or name == "random.Random":
+                if self._unseeded(node):
+                    yield self.finding(
+                        module, node,
+                        f"`{name}()` without an explicit seed is "
+                        "process-dependent; thread the cell/run seed "
+                        "through",
+                    )
+            elif name.startswith("random.") and name.count(".") == 1:
+                yield self.finding(
+                    module, node,
+                    f"`{name}()` uses the global RNG (call-order "
+                    "dependent); use a seeded np.random.Generator or "
+                    "random.Random(seed) instance",
+                )
+            elif name.startswith("numpy.random."):
+                yield self.finding(
+                    module, node,
+                    f"`{name}()` uses numpy's global RNG; use a "
+                    "seeded np.random.default_rng(seed) instance",
+                )
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        first: Optional[ast.expr] = node.args[0] if node.args else None
+        if first is None:
+            for keyword in node.keywords:
+                if keyword.arg in {"seed", "x"}:
+                    first = keyword.value
+                    break
+        return (
+            isinstance(first, ast.Constant) and first.value is None
+        )
+
+
+@register
+class OrderingHazardRule(ModuleRule):
+    """RA003: set-iteration and unsorted directory listings."""
+
+    code = "RA003"
+    family = "determinism"
+    summary = (
+        "nondeterministic ordering: iterating/materializing a set, or "
+        "an unsorted directory listing, in a deterministic package"
+    )
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        if not config.deterministic(module.name):
+            return
+        imports = import_map(module.tree)
+        tree = module.tree
+        nodes = list(walk_with_parents(tree))
+
+        funcs = [
+            n for n in nodes
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        scope_sets: Dict[ast.AST, Set[str]] = {
+            func: _set_typed_names(func) for func in funcs
+        }
+
+        def set_names_for(node: ast.AST) -> Set[str]:
+            current = parent_of(node)
+            while current is not None:
+                if current in scope_sets:
+                    return scope_sets[current]
+                current = parent_of(current)
+            return set()
+
+        for node in nodes:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, set_names_for(node)):
+                    yield self.finding(
+                        module, node.iter,
+                        "iterating a set: element order varies per "
+                        "process (hash salting); iterate "
+                        "sorted(<set>) instead",
+                    )
+            elif isinstance(node, ast.comprehension):
+                # comprehensions have no lineno; anchor at the iterable
+                if _is_set_expr(node.iter, set_names_for(node.iter)):
+                    yield self.finding(
+                        module, node.iter,
+                        "comprehension over a set: element order "
+                        "varies per process; use sorted(<set>)",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node, imports)
+                if (
+                    name in ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and _is_set_expr(node.args[0], set_names_for(node))
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"`{name}(<set>)` materializes salted hash "
+                        "order; use sorted(<set>)",
+                    )
+                elif self._is_listing(node, name) and not self._sorted_parent(
+                    node
+                ):
+                    yield self.finding(
+                        module, node,
+                        "directory listing order is "
+                        "filesystem-dependent; wrap the call in "
+                        "sorted(...)",
+                    )
+
+    @staticmethod
+    def _is_listing(node: ast.Call, name: Optional[str]) -> bool:
+        if name in LISTING_CALLS:
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in LISTING_METHODS
+        )
+
+    @staticmethod
+    def _sorted_parent(node: ast.AST) -> bool:
+        parent = parent_of(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and parent.args
+            and parent.args[0] is node
+        )

@@ -1,0 +1,80 @@
+"""Exception-hygiene rules (RA010-RA011).
+
+Graceful degradation (PR 1) is an explicit, *accounted* decision: the
+platform marks pairs unresolved and counts the fault. A bare or silent
+``except`` is the opposite — an unaccounted loss of signal. These
+rules apply to the whole tree:
+
+* **RA010** — bare ``except:`` (catches ``SystemExit`` /
+  ``KeyboardInterrupt`` too; always name the exception type).
+* **RA011** — a handler that swallows the exception without a trace:
+  its body is only ``pass`` / ``...`` / docstrings. Deliberate
+  swallow sites (e.g. racing-cleanup in the sweep cache) carry an
+  inline ``# repro: noqa RA011 - <rationale>`` allowlist comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleRule, register
+
+
+def _is_silent_body(body) -> bool:
+    """True when a handler body does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class BareExceptRule(ModuleRule):
+    """RA010: bare ``except:`` clause."""
+
+    code = "RA010"
+    family = "exception-hygiene"
+    summary = "bare `except:` — name the exception type(s)"
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` catches SystemExit and "
+                    "KeyboardInterrupt; name the exception type(s)",
+                )
+
+
+@register
+class SilentExceptRule(ModuleRule):
+    """RA011: silently swallowed exception."""
+
+    code = "RA011"
+    family = "exception-hygiene"
+    summary = (
+        "exception swallowed without a trace (`except ...: pass`); "
+        "narrow it, log it, or allowlist with `# repro: noqa RA011`"
+    )
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and node.type is not None
+                and _is_silent_body(node.body)
+            ):
+                yield self.finding(
+                    module, node,
+                    "exception swallowed without a trace; handle it, "
+                    "narrow it, or annotate the deliberate swallow "
+                    "with `# repro: noqa RA011 - <rationale>`",
+                )

@@ -1,0 +1,92 @@
+"""Layering rule (RA004): enforce the package import DAG.
+
+The architecture layers bottom-up as ``exceptions``/``skyline`` →
+``data``/``obs`` → ``crowd`` → ``sorting`` → ``core`` → ``query`` →
+``experiments`` (``incomplete``/``metrics`` ride at the data level).
+Two invariants carry most of the weight:
+
+* nothing imports ``experiments`` back — the evaluation harness stays
+  a pure consumer, so algorithm behaviour can never depend on it;
+* ``obs`` is importable from anywhere but itself imports only
+  ``exceptions`` — observability can observe, never steer.
+
+The allowed-dependency table lives in
+:data:`repro.analysis.config.DEFAULT_LAYERS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ModuleRule, register
+
+
+def _imported_packages(
+    tree: ast.AST, root: str
+) -> List[Tuple[ast.AST, str]]:
+    """``(node, dotted-module)`` for every import of the root package."""
+    out: List[Tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == root or alias.name.startswith(root + "."):
+                    out.append((node, alias.name))
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative: stays inside the same package
+            if node.module == root or node.module.startswith(root + "."):
+                out.append((node, node.module))
+    return out
+
+
+@register
+class LayeringRule(ModuleRule):
+    """RA004: cross-package import outside the allowed DAG."""
+
+    code = "RA004"
+    family = "layering"
+    summary = (
+        "import violates the package DAG (nothing imports "
+        "experiments back; obs stays a leaf over exceptions)"
+    )
+
+    def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
+        root = config.root_package
+        if module.name != root and not module.name.startswith(root + "."):
+            return
+        own = config.top_package(module.name)
+        allowed = config.layers.get(own)
+        if allowed is None:
+            # Unknown package: only the hard invariants apply.
+            allowed = frozenset(config.layers) - {"", "experiments"}
+        for node, target in _imported_packages(module.tree, root):
+            if target == root:
+                dep = "repro"
+            else:
+                dep = config.top_package(target)
+            if dep == own:
+                continue
+            if dep in allowed:
+                continue
+            if dep == "experiments":
+                message = (
+                    f"`{module.name}` imports `{target}`: nothing may "
+                    "import the experiment harness back — move shared "
+                    "code below repro.experiments"
+                )
+            elif own == "obs":
+                message = (
+                    f"repro.obs imports `{target}`: the observability "
+                    "layer must stay a leaf over repro.exceptions so "
+                    "it can never influence algorithm behaviour"
+                )
+            else:
+                message = (
+                    f"`{module.name}` (layer `{own or 'repro'}`) may "
+                    f"not import `{target}`; allowed dependencies: "
+                    f"{', '.join(sorted(allowed)) or 'none'}"
+                )
+            yield self.finding(module, node, message)

@@ -1,0 +1,185 @@
+"""Sweep-cache purity rules (RA008-RA009).
+
+The result cache addresses a cell by ``(code fingerprint, runner,
+config, seed)`` — nothing else. A runner that reads the environment,
+or hides state in a mutable default argument, computes payloads the
+cache key cannot see, so a warm cache silently serves wrong rows.
+These rules check every ``"module:function"`` runner string whose
+module part is inside the project:
+
+* **RA008** — the runner must resolve to a *module-level* function in
+  the scanned tree (the process pool imports it by name), and its body
+  must not read the environment (``os.environ`` / ``os.getenv``).
+* **RA009** — the runner must not take mutable default arguments
+  (state surviving across cells inside one worker process).
+
+Wall-clock and randomness inside runner bodies are covered by the
+determinism rules (RA001/RA002) — runners live in
+``repro.experiments``, which is inside the deterministic scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ProjectRule,
+    import_map,
+    literal_str,
+    register,
+    resolved_name,
+)
+
+#: Shape of a runner reference: dotted module, colon, identifier.
+RUNNER_RE = re.compile(
+    r"^(?P<module>[A-Za-z_][\w.]*):(?P<func>[A-Za-z_]\w*)$"
+)
+
+ENV_READS = frozenset({
+    "os.environ",
+    "os.getenv",
+    "os.environb",
+    "os.putenv",
+})
+
+MUTABLE_DEFAULT_CALLS = frozenset({
+    "list", "dict", "set", "collections.defaultdict",
+    "collections.OrderedDict",
+})
+
+
+def _runner_refs(tree: ast.AST, prefix: str) -> List[Tuple[ast.AST, str, str]]:
+    """``(node, module, function)`` for every runner-shaped literal."""
+    out: List[Tuple[ast.AST, str, str]] = []
+    for node in ast.walk(tree):
+        value = literal_str(node)
+        if value is None:
+            continue
+        match = RUNNER_RE.match(value)
+        if match and match.group("module").startswith(prefix):
+            out.append((node, match.group("module"), match.group("func")))
+    return out
+
+
+def _is_mutable_default(node: ast.expr, imports: Dict[str, str]) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return resolved_name(node.func, imports) in MUTABLE_DEFAULT_CALLS
+    return False
+
+
+def _env_reads(func: ast.AST, imports: Dict[str, str]) -> Iterator[ast.AST]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            if resolved_name(node, imports) in ENV_READS:
+                yield node
+
+
+@register
+class RunnerPurityRule(ProjectRule):
+    """RA008: cell runner unresolvable or environment-dependent."""
+
+    code = "RA008"
+    family = "cache-purity"
+    summary = (
+        'sweep runner ("module:function") must resolve to a '
+        "module-level function with no environment reads"
+    )
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        by_name = {module.name: module for module in modules}
+        checked = set()
+        for module in modules:
+            if module.name.startswith(config.root_package + ".analysis"):
+                continue
+            for node, target_module, func_name in _runner_refs(
+                module.tree, config.runner_prefix
+            ):
+                key = (target_module, func_name)
+                target = by_name.get(target_module)
+                if target is None:
+                    # Module outside the scanned tree: resolution is
+                    # the runtime's problem (Cell.resolve_runner).
+                    continue
+                func = self._toplevel_function(target.tree, func_name)
+                if func is None:
+                    yield self.finding(
+                        module, node,
+                        f"runner {target_module}:{func_name} does not "
+                        "resolve to a module-level function — the "
+                        "process pool imports runners by name, so "
+                        "nested/class-level functions cannot be cells",
+                    )
+                    continue
+                if key in checked:
+                    continue
+                checked.add(key)
+                imports = import_map(target.tree)
+                for read in _env_reads(func, imports):
+                    yield self.finding(
+                        target, read,
+                        f"cell runner {func_name} reads the "
+                        "environment: the cache key cannot see env "
+                        "state, so cached payloads would go stale "
+                        "silently — pass it through the cell config",
+                    )
+
+    @staticmethod
+    def _toplevel_function(
+        tree: ast.AST, name: str
+    ) -> Optional[ast.FunctionDef]:
+        for node in getattr(tree, "body", []):
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+
+@register
+class RunnerMutableDefaultRule(ProjectRule):
+    """RA009: mutable default argument on a cell runner."""
+
+    code = "RA009"
+    family = "cache-purity"
+    summary = (
+        "cell runner takes a mutable default argument (worker-process "
+        "state invisible to the cache key)"
+    )
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        by_name = {module.name: module for module in modules}
+        seen = set()
+        for module in modules:
+            for _, target_module, func_name in _runner_refs(
+                module.tree, config.runner_prefix
+            ):
+                key = (target_module, func_name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                target = by_name.get(target_module)
+                if target is None:
+                    continue
+                func = RunnerPurityRule._toplevel_function(
+                    target.tree, func_name
+                )
+                if func is None:
+                    continue
+                imports = import_map(target.tree)
+                defaults = list(func.args.defaults) + [
+                    d for d in func.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default, imports):
+                        yield self.finding(
+                            target, default,
+                            f"cell runner {func_name} has a mutable "
+                            "default argument; defaults persist "
+                            "across cells in one worker process — "
+                            "use None and construct inside",
+                        )

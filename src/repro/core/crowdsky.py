@@ -268,9 +268,9 @@ def _run_budgeted(
     # (any member counts — even a non-skyline one dominates t in A).
     # All candidate pairs are settled against the closure in one batch.
     finalize = context.prefs.resolve_pairs(
-        (s, t) for t in undecided for s in context.dominating[t]
+        (s, t) for t in sorted(undecided) for s in context.dominating[t]
     )
-    for t in undecided:
+    for t in sorted(undecided):
         dominated = any(
             all(
                 rel is not None and rel is not Preference.RIGHT

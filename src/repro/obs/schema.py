@@ -85,6 +85,29 @@ EVENT_ATTRS: Dict[str, Dict[str, Tuple[type, ...]]] = {
 }
 
 
+def known_event_names() -> frozenset:
+    """The registered event names (the keys of :data:`EVENT_ATTRS`)."""
+    return frozenset(EVENT_ATTRS)
+
+
+def assert_known(name: str) -> None:
+    """Raise :class:`TraceSchemaError` unless ``name`` is registered.
+
+    The runtime twin of the static obs-schema rule (RA005): the linter
+    checks every *literal* event name at its emission site, and strict
+    mode (``REPRO_OBS_STRICT=1``, see
+    :class:`~repro.obs.tracer.Tracer`) routes every *dynamic* name
+    through this check as it is emitted. Span names are free-form and
+    never checked.
+    """
+    if name not in EVENT_ATTRS:
+        raise TraceSchemaError(
+            f"unregistered trace event {name!r}; register it in "
+            "repro.obs.schema.EVENT_ATTRS or fix the emitter "
+            "(see docs/static-analysis.md, rule RA005)"
+        )
+
+
 def validate_events(
     events: List[Dict[str, Any]], strict_names: bool = False
 ) -> List[str]:

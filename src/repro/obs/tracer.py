@@ -29,6 +29,7 @@ event sequences *modulo the* ``ts`` *values* — the property the
 from __future__ import annotations
 
 import contextvars
+import os
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -36,6 +37,24 @@ from typing import Any, Callable, Dict, List, Optional
 EVENT = "event"
 SPAN_START = "span_start"
 SPAN_END = "span_end"
+
+#: Set to ``1`` to make every tracer reject unregistered event names at
+#: emission time (the runtime twin of the static RA005 rule); the
+#: check is resolved once per tracer at construction.
+STRICT_ENV_VAR = "REPRO_OBS_STRICT"
+
+
+def _strict_checker() -> Optional[Callable[[str], None]]:
+    """The strict-mode name check, or ``None`` when strict mode is off.
+
+    Imported lazily so the hot path pays nothing when strict mode is
+    disabled and module import order stays trivial.
+    """
+    if os.environ.get(STRICT_ENV_VAR, "").strip() != "1":
+        return None
+    from repro.obs.schema import assert_known
+
+    return assert_known
 
 
 class Span:
@@ -108,6 +127,7 @@ class Tracer:
     def __init__(self, clock: Callable[[], int] = time.perf_counter_ns):
         self._clock = clock
         self._origin = clock()
+        self._assert_known = _strict_checker()
         self._counter = 0
         self._current: contextvars.ContextVar[Optional[int]] = (
             contextvars.ContextVar("repro_obs_span", default=None)
@@ -141,7 +161,14 @@ class Tracer:
         })
 
     def event(self, name: str, **attrs: Any) -> None:
-        """Emit one point-in-time event under the current span."""
+        """Emit one point-in-time event under the current span.
+
+        In strict mode (``REPRO_OBS_STRICT=1`` at tracer construction)
+        the name must be registered in
+        :data:`repro.obs.schema.EVENT_ATTRS`.
+        """
+        if self._assert_known is not None:
+            self._assert_known(name)
         current = self._current.get()
         self._emit(self._now(), EVENT, name, current, current, attrs)
 

@@ -13,6 +13,7 @@ from tests.strategies.faults import (
     retry_policies,
     small_crowd_relations,
 )
+from tests.strategies.modules import module_names, python_modules
 from tests.strategies.preferences import (
     answer_events,
     answer_sequences,
@@ -29,6 +30,8 @@ __all__ = [
     "consistent_answer_sequences",
     "fault_plans",
     "lossy_fault_plans",
+    "module_names",
+    "python_modules",
     "retry_policies",
     "small_crowd_relations",
     "small_relations",

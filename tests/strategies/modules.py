@@ -1,0 +1,182 @@
+"""Hypothesis strategies generating syntactically-valid Python modules.
+
+Used by the invariant-linter crash-safety property
+(``tests/test_analysis.py``): the linter must never raise on *any*
+parseable module, however weird. Sources are valid by construction —
+statements are assembled from indentation-aware templates — and drawn
+to deliberately brush against every rule family: wall-clock calls,
+unseeded RNGs, set iteration, ``repro.*`` imports, ``.event(...)`` /
+``.counter(...)`` calls, runner-shaped strings, bare/silent
+``except``, mutable defaults and ``# repro: noqa`` comments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+#: Dotted module names spanning every scope the rules key off.
+MODULE_NAMES = (
+    "repro.core.generated",
+    "repro.crowd.generated",
+    "repro.experiments.generated",
+    "repro.obs.schema",
+    "repro.obs.metrics",
+    "repro.sorting.generated",
+    "repro.analysis.generated",
+    "repro.generated",
+    "loose_module",
+)
+
+_NAMES = st.sampled_from(
+    ["x", "y", "data", "seen", "items", "config", "seed", "tracer",
+     "registry", "np", "os", "time", "random", "sorted", "set", "list"]
+)
+
+_CONSTS = st.sampled_from(
+    ["0", "1", "None", "True", "3.5", "'a'",
+     "'crowd.round'", "'crowd.rnd'", "'crowdsky_rounds_total'",
+     "'repro.experiments.generated:cell'", "'repro.missing:cell'",
+     "'not a runner'"]
+)
+
+_DOTTED_CALLS = st.sampled_from(
+    ["time.time()", "time.perf_counter_ns()", "datetime.datetime.now()",
+     "random.random()", "random.Random(7)", "np.random.default_rng()",
+     "np.random.default_rng(seed)", "np.random.rand(3)",
+     "os.listdir('.')", "sorted(os.listdir('.'))", "os.getenv('HOME')",
+     "os.environ.get('X')", "tracer.event('crowd.round', round=1)",
+     "tracer.event(name)", "registry.counter('crowdsky_rounds_total')",
+     "registry.counter(ROUNDS)", "path.rglob('*.py')"]
+)
+
+_IMPORTS = st.sampled_from(
+    ["import os", "import time", "import numpy as np", "import random",
+     "from time import time", "from repro.exceptions import CrowdSkyError",
+     "from repro.experiments.sweep import Cell",
+     "from repro.obs import observe", "from repro.crowd import platform",
+     "import repro.experiments", "from . import sibling"]
+)
+
+_COMMENTS = st.sampled_from(
+    ["", "  # repro: noqa", "  # repro: noqa RA001",
+     "  # repro: noqa RA003,RA011 - generated", "  # plain comment"]
+)
+
+
+@st.composite
+def _expr(draw, depth: int = 2) -> str:
+    choices = [_NAMES, _CONSTS, _DOTTED_CALLS]
+    if depth > 0:
+        sub = _expr(depth=depth - 1)
+        choices.extend([
+            st.builds(lambda a, b: f"{{{a}, {b}}}", sub, sub),
+            st.builds(lambda a, b: f"[{a}, {b}]", sub, sub),
+            st.builds(lambda a, b: f"{a} | {b}", sub, sub),
+            st.builds(lambda a: f"set({a})", sub),
+            st.builds(lambda a: f"list({a})", sub),
+            st.builds(lambda a: f"sorted({a})", sub),
+            st.builds(lambda a, b: f"{a}({b})", _NAMES, sub),
+            st.builds(lambda a: f"{{v for v in {a}}}", sub),
+        ])
+    return draw(draw(st.sampled_from(choices)))
+
+
+def _indent(lines: List[str], by: str = "    ") -> List[str]:
+    return [by + line for line in lines]
+
+
+@st.composite
+def _simple_stmt(draw) -> List[str]:
+    kind = draw(st.integers(min_value=0, max_value=4))
+    comment = draw(_COMMENTS)
+    if kind == 0:
+        return [draw(_IMPORTS) + comment]
+    if kind == 1:
+        return [f"{draw(_NAMES)} = {draw(_expr())}" + comment]
+    if kind == 2:
+        return [draw(_expr()) + comment]
+    if kind == 3:
+        return ["pass" + comment]
+    return [f"{draw(_NAMES)} |= {draw(_expr())}" + comment]
+
+
+@st.composite
+def _block(draw, depth: int) -> List[str]:
+    statements = draw(
+        st.lists(_stmt(depth), min_size=1, max_size=3)
+    )
+    return [line for stmt in statements for line in stmt]
+
+
+@st.composite
+def _stmt(draw, depth: int = 2) -> List[str]:
+    if depth <= 0:
+        return draw(_simple_stmt())
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if kind == 0:
+        return draw(_simple_stmt())
+    if kind == 1:  # for loop
+        head = f"for {draw(_NAMES)} in {draw(_expr())}:" + draw(_COMMENTS)
+        return [head] + _indent(draw(_block(depth - 1)))
+    if kind == 2:  # if / else
+        lines = [f"if {draw(_expr())}:"]
+        lines += _indent(draw(_block(depth - 1)))
+        if draw(st.booleans()):
+            lines.append("else:")
+            lines += _indent(draw(_block(depth - 1)))
+        return lines
+    if kind == 3:  # try / except
+        handler = draw(st.sampled_from(
+            ["except:", "except ValueError:", "except (OSError, KeyError):",
+             "except Exception as error:"]
+        ))
+        body = draw(st.sampled_from([["pass"], ["..."], ["raise"],
+                                     ["x = 1"]]))
+        return (
+            ["try:"] + _indent(draw(_block(depth - 1)))
+            + [handler + draw(_COMMENTS)] + _indent(body)
+        )
+    if kind == 4:  # function def (possibly with mutable default)
+        params = draw(st.sampled_from(
+            ["", "config, seed", "a, acc=[]", "a, acc={}", "a, b=None",
+             "*args, **kwargs"]
+        ))
+        name = draw(st.sampled_from(["cell", "runner", "helper", "_f"]))
+        lines = [f"def {name}({params}):"]
+        lines += _indent(draw(_block(depth - 1)))
+        if draw(st.booleans()):
+            lines += _indent([f"return {draw(_expr())}"])
+        return lines
+    if kind == 5:  # class with a method
+        lines = [f"class {draw(st.sampled_from(['C', 'Runner']))}:"]
+        inner = [f"def m(self, acc={draw(st.sampled_from(['[]', 'None']))}):"]
+        inner += _indent(draw(_block(depth - 1)))
+        return lines + _indent(inner)
+    # dict/registry assignment (exercises the schema extractor)
+    target = draw(st.sampled_from(
+        ["EVENT_ATTRS", "TABLE", "ROUNDS", "NAMES"]
+    ))
+    value = draw(st.sampled_from(
+        ["{}", "{'crowd.round': {'round': (int,)}}",
+         "{1: 'x', 'y': 2}", "'crowdsky_generated_total'",
+         "{'sweep.cached': {}}"]
+    ))
+    return [f"{target} = {value}"]
+
+
+@st.composite
+def python_modules(draw) -> str:
+    """A syntactically-valid Python module source string."""
+    lines: List[str] = []
+    if draw(st.booleans()):
+        lines.append('"""Generated module docstring."""')
+    for stmt in draw(st.lists(_stmt(), min_size=1, max_size=6)):
+        lines.extend(stmt)
+    return "\n".join(lines) + "\n"
+
+
+def module_names() -> st.SearchStrategy:
+    """Dotted module names covering every rule scope."""
+    return st.sampled_from(MODULE_NAMES)

@@ -1,0 +1,602 @@
+"""Tests for the ``repro.analysis`` invariant linter.
+
+Covers, per the linter contract (docs/static-analysis.md):
+
+* every rule family fires on a bad fixture and stays quiet on a good
+  one (determinism RA001-RA003, layering RA004, obs-schema RA005-RA007,
+  cache-purity RA008-RA009, hygiene RA010-RA011);
+* inline ``# repro: noqa`` suppression semantics;
+* baseline round-trip: write -> load -> apply yields a clean gate,
+  TODO rationales and stale entries fail it;
+* JSON output document shape of the CLI;
+* the self-clean gate: the repo's own ``src/`` tree is clean modulo
+  the committed ``analysis-baseline.json``;
+* a Hypothesis property: the linter never crashes on arbitrary
+  syntactically-valid modules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import (
+    AnalysisConfig,
+    SourceModule,
+    all_rules,
+    analyze_modules,
+    analyze_paths,
+    apply_baseline,
+    entries_from_findings,
+    get_rule,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.baseline import TODO_RATIONALE, BaselineEntry
+from repro.analysis.cli import main
+from repro.analysis.engine import module_name_for
+from tests.strategies import module_names, python_modules
+
+pytestmark = pytest.mark.analysis
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A minimal schema module mirroring repro.obs.schema's registry shape.
+SCHEMA_SOURCE = """\
+EVENT_ATTRS = {
+    "crowd.round": {"round": (int,)},
+    "sweep.cached": {},
+}
+"""
+
+#: A minimal metrics module with one canonical constant.
+METRICS_SOURCE = """\
+CROWD_ROUNDS = "crowdsky_rounds_total"
+"""
+
+
+def mod(name: str, source: str) -> SourceModule:
+    path = name.replace(".", "/") + ".py"
+    return SourceModule.parse(name, source, path)
+
+
+def run(*modules: SourceModule, select=None):
+    return analyze_modules(list(modules), AnalysisConfig(), select)
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_lists_all_rules():
+    rules = all_rules()
+    got = [rule.code for rule in rules]
+    assert got == sorted(got)
+    assert got == [f"RA{n:03d}" for n in range(1, 12)]
+    families = {rule.family for rule in rules}
+    assert {
+        "determinism", "layering", "obs-schema", "cache-purity",
+        "exception-hygiene",
+    } <= families
+    assert get_rule("RA004").family == "layering"
+    assert get_rule("RA999") is None
+
+
+# -- determinism (RA001-RA003) ----------------------------------------------
+
+
+def test_wall_clock_fires_in_deterministic_scope():
+    bad = mod(
+        "repro.core.badmod",
+        "import time\n\ndef f():\n    return time.time()\n",
+    )
+    assert codes(run(bad)) == ["RA001"]
+
+
+def test_wall_clock_quiet_on_monotonic_and_outside_scope():
+    good = mod(
+        "repro.core.goodmod",
+        "import time\n\ndef f():\n    return time.perf_counter_ns()\n",
+    )
+    obs = mod(
+        "repro.obs.clockmod",
+        "import time\n\ndef f():\n    return time.time()\n",
+    )
+    assert run(good) == []
+    assert run(obs) == []
+
+
+def test_unseeded_random_fires_and_seeded_is_quiet():
+    bad = mod(
+        "repro.experiments.badrng",
+        "import random\nimport numpy as np\n\n"
+        "def f():\n"
+        "    a = random.random()\n"
+        "    return a + np.random.default_rng().integers(10)\n",
+    )
+    found = run(bad)
+    assert codes(found) == ["RA002"]
+    assert len(found) == 2
+
+    good = mod(
+        "repro.experiments.goodrng",
+        "import random\nimport numpy as np\n\n"
+        "def f(seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    local = random.Random(seed)\n"
+        "    return rng.integers(10) + local.randrange(10)\n",
+    )
+    assert run(good) == []
+
+
+def test_ordering_hazard_fires_on_set_iteration_and_listdir():
+    bad = mod(
+        "repro.crowd.badorder",
+        "import os\n\n"
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    for x in seen:\n"
+        "        print(x)\n"
+        "    return os.listdir('.')\n",
+    )
+    assert codes(run(bad)) == ["RA003"]
+    assert len(run(bad)) == 2
+
+
+def test_ordering_hazard_quiet_when_sorted():
+    good = mod(
+        "repro.crowd.goodorder",
+        "import os\n\n"
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    for x in sorted(seen):\n"
+        "        print(x)\n"
+        "    return sorted(os.listdir('.'))\n",
+    )
+    assert run(good) == []
+
+
+def test_set_membership_is_not_an_ordering_hazard():
+    good = mod(
+        "repro.core.member",
+        "def f(items, x):\n"
+        "    seen = set(items)\n"
+        "    return x in seen\n",
+    )
+    assert run(good) == []
+
+
+# -- layering (RA004) --------------------------------------------------------
+
+
+def test_layering_fires_on_upward_import():
+    bad = mod(
+        "repro.obs.badlayer",
+        "from repro.crowd.platform import SimulatedCrowd\n",
+    )
+    assert codes(run(bad)) == ["RA004"]
+
+    upward = mod(
+        "repro.core.badlayer",
+        "import repro.experiments\n",
+    )
+    assert codes(run(upward)) == ["RA004"]
+
+
+def test_layering_quiet_on_allowed_imports():
+    good = mod(
+        "repro.core.goodlayer",
+        "from repro.crowd.platform import SimulatedCrowd\n"
+        "from repro.exceptions import CrowdSkyError\n"
+        "from repro.obs import observe\n",
+    )
+    assert run(good) == []
+
+
+# -- obs-schema (RA005-RA007) ------------------------------------------------
+
+
+def test_unregistered_event_fires_and_registered_is_quiet():
+    schema = mod("repro.obs.schema", SCHEMA_SOURCE)
+    bad = mod(
+        "repro.crowd.bademit",
+        "def f(tracer, n):\n"
+        "    tracer.event('crowd.rnd', round=n)\n"
+        "    tracer.event('sweep.cached')\n",
+    )
+    found = run(schema, bad, select=["RA005"])
+    assert codes(found) == ["RA005"]
+    assert len(found) == 1
+    assert "crowd.rnd" in found[0].message
+
+    good = mod(
+        "repro.crowd.goodemit",
+        "def f(tracer, n):\n"
+        "    tracer.event('crowd.round', round=n)\n"
+        "    tracer.event('sweep.cached')\n",
+    )
+    assert run(schema, good, select=["RA005"]) == []
+
+
+def test_never_emitted_event_reported_at_the_registry():
+    schema = mod("repro.obs.schema", SCHEMA_SOURCE)
+    partial = mod(
+        "repro.crowd.partial",
+        "def f(tracer):\n    tracer.event('crowd.round', round=1)\n",
+    )
+    found = run(schema, partial, select=["RA005", "RA006"])
+    assert codes(found) == ["RA006"]
+    assert found[0].path == schema.path
+    assert "sweep.cached" in found[0].message
+
+
+def test_metric_literal_fires_and_constant_is_quiet():
+    metrics = mod("repro.obs.metrics", METRICS_SOURCE)
+    bad = mod(
+        "repro.crowd.badmetric",
+        "def f(reg):\n"
+        "    reg.counter('crowdsky_rounds_total')\n"
+        "    reg.gauge('crowdsky_unregistered_thing')\n",
+    )
+    found = run(metrics, bad, select=["RA007"])
+    assert codes(found) == ["RA007"]
+    assert len(found) == 2
+
+    good = mod(
+        "repro.crowd.goodmetric",
+        "from repro.obs.metrics import CROWD_ROUNDS\n\n"
+        "def f(reg):\n    reg.counter(CROWD_ROUNDS)\n",
+    )
+    assert run(metrics, good, select=["RA007"]) == []
+
+
+# -- cache-purity (RA008-RA009) ----------------------------------------------
+
+
+def test_runner_env_read_and_nested_def_fire():
+    runner = mod(
+        "repro.experiments.cells",
+        "import os\n\n"
+        "def cell(config, seed):\n"
+        "    return {'home': os.getenv('HOME')}\n",
+    )
+    caller = mod(
+        "repro.experiments.drive",
+        "RUNNER = 'repro.experiments.cells:cell'\n"
+        "MISSING = 'repro.experiments.cells:nested'\n",
+    )
+    found = run(runner, caller, select=["RA008"])
+    assert codes(found) == ["RA008"]
+    # one for the env read, one for the unresolvable nested runner
+    assert len(found) == 2
+
+
+def test_runner_mutable_default_fires_and_pure_runner_is_quiet():
+    impure = mod(
+        "repro.experiments.impure",
+        "def cell(config, seed, acc=[]):\n"
+        "    acc.append(seed)\n"
+        "    return {'n': len(acc)}\n",
+    )
+    ref = mod(
+        "repro.experiments.refs",
+        "RUNNER = 'repro.experiments.impure:cell'\n",
+    )
+    assert codes(run(impure, ref, select=["RA008", "RA009"])) == ["RA009"]
+
+    pure = mod(
+        "repro.experiments.pure",
+        "def cell(config, seed, acc=None):\n"
+        "    acc = [] if acc is None else acc\n"
+        "    return {'seed': seed}\n",
+    )
+    pure_ref = mod(
+        "repro.experiments.purerefs",
+        "RUNNER = 'repro.experiments.pure:cell'\n",
+    )
+    assert run(pure, pure_ref, select=["RA008", "RA009"]) == []
+
+
+def test_runner_outside_scanned_tree_is_runtime_problem():
+    ref = mod(
+        "repro.experiments.external",
+        "RUNNER = 'repro.elsewhere:cell'\n",
+    )
+    assert run(ref, select=["RA008", "RA009"]) == []
+
+
+# -- hygiene (RA010-RA011) ---------------------------------------------------
+
+
+def test_bare_and_silent_except_fire():
+    bad = mod(
+        "repro.data.badhygiene",
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except:\n"
+        "        raise\n"
+        "    try:\n"
+        "        g()\n"
+        "    except OSError:\n"
+        "        pass\n",
+    )
+    assert codes(run(bad)) == ["RA010", "RA011"]
+
+
+def test_handled_except_is_quiet():
+    good = mod(
+        "repro.data.goodhygiene",
+        "import logging\n\n"
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except OSError as error:\n"
+        "        logging.warning('g failed: %s', error)\n",
+    )
+    assert run(good) == []
+
+
+# -- suppression -------------------------------------------------------------
+
+
+def test_noqa_with_matching_code_suppresses():
+    src = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: noqa RA001 - test fixture\n"
+    )
+    assert run(mod("repro.core.s1", src)) == []
+
+
+def test_noqa_with_wrong_code_does_not_suppress():
+    src = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: noqa RA003\n"
+    )
+    assert codes(run(mod("repro.core.s2", src))) == ["RA001"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    src = (
+        "import time, random\n\n"
+        "def f():\n"
+        "    return time.time() + random.random()  # repro: noqa\n"
+    )
+    assert run(mod("repro.core.s3", src)) == []
+
+
+def test_noqa_on_except_line_covers_the_handler_body():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except OSError:  # repro: noqa RA011 - racing cleanup\n"
+        "        pass\n"
+    )
+    assert run(mod("repro.data.s4", src)) == []
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def test_baseline_round_trip_gates_clean(tmp_path):
+    bad = mod("repro.core.base1", "import time\nNOW = time.time()\n")
+    findings = run(bad)
+    assert codes(findings) == ["RA001"]
+
+    entries = entries_from_findings(findings)
+    assert all(e.rationale == TODO_RATIONALE for e in entries)
+    justified = [
+        BaselineEntry(e.code, e.path, e.context, "test fixture rationale")
+        for e in entries
+    ]
+    file = tmp_path / "baseline.json"
+    save_baseline(file, justified)
+    loaded = load_baseline(file)
+    assert loaded == sorted(justified, key=BaselineEntry.key)
+
+    result = apply_baseline(findings, loaded)
+    assert result.gate_findings() == []
+    assert len(result.matched) == 1 and result.new == []
+
+
+def test_todo_rationale_fails_the_gate():
+    bad = mod("repro.core.base2", "import time\nNOW = time.time()\n")
+    findings = run(bad)
+    entries = entries_from_findings(findings)
+    result = apply_baseline(findings, entries)
+    gate = result.gate_findings()
+    assert codes(gate) == ["RA000"]
+    assert "rationale" in gate[0].message
+
+
+def test_stale_entry_fails_the_gate():
+    stale = BaselineEntry(
+        "RA001", "repro/core/gone.py", "NOW = time.time()", "was real once"
+    )
+    result = apply_baseline([], [stale])
+    gate = result.gate_findings()
+    assert codes(gate) == ["RA000"]
+    assert "stale" in gate[0].message
+
+
+def test_baseline_matches_across_invocation_roots():
+    bad = mod("repro.core.base3", "import time\nNOW = time.time()\n")
+    findings = run(bad)
+    entry = BaselineEntry(
+        "RA001",
+        "src/" + findings[0].path,
+        findings[0].context,
+        "root-relative entry",
+    )
+    result = apply_baseline(findings, [entry])
+    assert result.new == [] and result.stale == []
+
+
+def test_baseline_survives_line_drift():
+    before = mod("repro.core.drift", "import time\nNOW = time.time()\n")
+    entries = [
+        BaselineEntry(e.code, e.path, e.context, "drift fixture")
+        for e in entries_from_findings(run(before))
+    ]
+    after = mod(
+        "repro.core.drift",
+        "import time\n\n# pushed two lines down\nNOW = time.time()\n",
+    )
+    result = apply_baseline(run(after), entries)
+    assert result.new == [] and result.stale == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _write_tree(tmp_path, files):
+    for rel, source in files.items():
+        file = tmp_path / rel
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def _package_tree(tmp_path, module_source):
+    return _write_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/mod.py": module_source,
+    })
+
+
+def test_cli_check_json_document_shape(tmp_path, capsys):
+    root = _package_tree(tmp_path, "import time\nNOW = time.time()\n")
+    code = main([
+        "check", str(root / "src"), "--format", "json", "--no-baseline",
+    ])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["summary"]["findings"] == 1
+    assert document["summary"]["parse_errors"] == 0
+    (finding,) = document["findings"]
+    assert finding["code"] == "RA001"
+    assert finding["path"].endswith("mod.py")
+    assert {"line", "col", "message", "severity", "context", "family"} <= set(
+        finding
+    )
+
+
+def test_cli_check_clean_tree_exits_zero(tmp_path, capsys):
+    root = _package_tree(tmp_path, "VALUE = 1\n")
+    code = main(["check", str(root / "src"), "--no-baseline"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_parse_error_exits_nonzero(tmp_path, capsys):
+    root = _package_tree(tmp_path, "def broken(:\n")
+    code = main(["check", str(root / "src"), "--no-baseline"])
+    assert code == 1
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_cli_baseline_write_then_check_passes(tmp_path, capsys):
+    root = _package_tree(tmp_path, "import time\nNOW = time.time()\n")
+    baseline = root / "baseline.json"
+    assert main([
+        "baseline", str(root / "src"), "--baseline", str(baseline), "--write",
+    ]) == 0
+    capsys.readouterr()
+    # Fresh entries carry the TODO placeholder, so check still fails...
+    assert main([
+        "check", str(root / "src"), "--baseline", str(baseline),
+    ]) == 1
+    capsys.readouterr()
+    # ...until a human writes the rationale.
+    entries = [
+        BaselineEntry(e.code, e.path, e.context, "justified in test")
+        for e in load_baseline(baseline)
+    ]
+    save_baseline(baseline, entries)
+    assert main([
+        "check", str(root / "src"), "--baseline", str(baseline),
+    ]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_rules_json(capsys):
+    assert main(["rules", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert [r["code"] for r in document["rules"]] == [
+        f"RA{n:03d}" for n in range(1, 12)
+    ]
+
+
+def test_module_name_for_walks_packages(tmp_path):
+    root = _package_tree(tmp_path, "VALUE = 1\n")
+    assert module_name_for(root / "src/repro/core/mod.py") == "repro.core.mod"
+    loose = tmp_path / "loose.py"
+    loose.write_text("VALUE = 1\n", encoding="utf-8")
+    assert module_name_for(loose) == "loose"
+
+
+# -- self-clean gate ---------------------------------------------------------
+
+
+def test_repo_src_is_clean_modulo_committed_baseline():
+    findings, problems = analyze_paths([REPO_ROOT / "src"])
+    assert problems == []
+    entries = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    result = apply_baseline(findings, entries)
+    gate = result.gate_findings()
+    assert gate == [], "\n".join(f.render() for f in gate)
+
+
+def test_committed_baseline_entries_all_have_rationales():
+    entries = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    assert entries, "committed baseline unexpectedly empty"
+    for entry in entries:
+        assert entry.rationale.strip(), entry
+        assert not entry.rationale.startswith("TODO"), entry
+
+
+# -- crash safety ------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(source=python_modules(), name=module_names())
+def test_linter_never_crashes_on_valid_modules(source, name):
+    module = SourceModule.parse(name, source, "generated.py")
+    findings = analyze_modules([module])
+    for finding in findings:
+        assert finding.code.startswith("RA")
+        assert finding.line >= 0 and finding.col >= 0
+        finding.render()
+        finding.to_json()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(source=python_modules(), other=python_modules())
+def test_linter_never_crashes_on_module_pairs(source, other):
+    # Pairs exercise the project rules' cross-module scans, including a
+    # generated module impersonating the schema/metrics modules.
+    modules = [
+        SourceModule.parse("repro.obs.schema", source, "schema.py"),
+        SourceModule.parse("repro.experiments.generated", other, "gen.py"),
+    ]
+    for finding in analyze_modules(modules):
+        finding.render()
