@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep test-analysis regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint lint-baseline
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep test-analysis test-recovery regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint lint-baseline
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -35,6 +35,11 @@ test-sweep:
 # round-trip, JSON schema, self-clean gate, Hypothesis crash-safety.
 test-analysis:
 	pytest tests/test_analysis.py -m analysis -q
+
+# Journal durability: corruption matrix + the crash-injection
+# differential harness (resume is byte-identical at every write point).
+test-recovery:
+	pytest tests/test_journal.py tests/test_recovery.py -m recovery -q
 
 # Static invariant gate: determinism, layering, obs-schema,
 # cache-purity and exception hygiene over src/, modulo the committed

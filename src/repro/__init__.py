@@ -30,15 +30,20 @@ from repro.core.crowdsky import (
 from repro.core.parallel import parallel_dset, parallel_sl
 from repro.core.preference import ContradictionPolicy, PreferenceSystem
 from repro.core.result import CrowdSkylineResult
+from repro.core.resume import replay_run, resume_run
 from repro.core.unary import unary_skyline
-from repro.crowd.faults import FaultPlan, FaultStats
-from repro.crowd.platform import CrowdStats, SimulatedCrowd
-from repro.crowd.questions import (
-    MultiwayQuestion,
-    PairwiseQuestion,
-    Preference,
-    UnaryQuestion,
+from repro.crowd.backends import (
+    CrowdBackend,
+    ReplayBackend,
+    SimulatedBackend,
 )
+from repro.crowd.faults import FaultPlan, FaultStats
+from repro.crowd.journal import (
+    JournalWriter,
+    RecoveredJournal,
+    recover_journal,
+)
+from repro.crowd.platform import CrowdStats, SimulatedCrowd
 from repro.crowd.retry import RetryPolicy
 from repro.crowd.voting import DynamicVoting, StaticVoting
 from repro.crowd.workers import (
@@ -62,6 +67,8 @@ from repro.exceptions import (
     BudgetExhaustedError,
     CrowdSkyError,
     FaultInjectionError,
+    JournalError,
+    JournalReplayError,
     QuestionTimeoutError,
     RetriesExhaustedError,
 )
@@ -80,6 +87,12 @@ from repro.obs import (
 )
 from repro.query.executor import execute_query
 from repro.query.parser import parse_query
+from repro.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+    UnaryQuestion,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +103,7 @@ __all__ = [
     "BernoulliWorker",
     "BudgetExhaustedError",
     "ContradictionPolicy",
+    "CrowdBackend",
     "CrowdSkyConfig",
     "CrowdSkyError",
     "CrowdSkylineResult",
@@ -101,6 +115,9 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "FaultStats",
+    "JournalError",
+    "JournalReplayError",
+    "JournalWriter",
     "MetricsRegistry",
     "MultiwayQuestion",
     "PairwiseQuestion",
@@ -109,10 +126,13 @@ __all__ = [
     "PreferenceSystem",
     "PruningLevel",
     "QuestionTimeoutError",
+    "RecoveredJournal",
     "Relation",
+    "ReplayBackend",
     "RetriesExhaustedError",
     "RetryPolicy",
     "Schema",
+    "SimulatedBackend",
     "SimulatedCrowd",
     "SkilledWorker",
     "SpammerWorker",
@@ -134,6 +154,9 @@ __all__ = [
     "parallel_sl",
     "parse_query",
     "precision_recall",
+    "recover_journal",
+    "replay_run",
+    "resume_run",
     "summarize_trace",
     "unary_skyline",
 ]

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.findings import Finding, SEVERITY_ERROR
+from repro.io.atomic import atomic_write_text
 
 BASELINE_VERSION = 1
 
@@ -98,9 +99,7 @@ def save_baseline(
         "version": BASELINE_VERSION,
         "entries": [entry.to_json() for entry in ordered],
     }
-    Path(path).write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 @dataclass

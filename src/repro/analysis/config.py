@@ -17,42 +17,56 @@ from typing import Dict, FrozenSet, Tuple
 #: a primitive that ``sorting``/``core`` orchestrate, ``experiments``
 #: sits on top of everything, and nothing may import ``experiments``
 #: back. ``obs`` is importable from anywhere but must itself stay a
-#: leaf over ``exceptions`` only — observability can never feed back
-#: into algorithm behaviour. The root package (``repro/__init__``) is
+#: leaf over ``exceptions`` and the ``io`` write helpers —
+#: observability can never feed back into algorithm behaviour. The root package (``repro/__init__``) is
 #: spelled ``""``; the bare ``import repro`` dependency is spelled
 #: ``"repro"``.
 DEFAULT_LAYERS: Dict[str, FrozenSet[str]] = {
     "exceptions": frozenset(),
+    # The crowd-independent micro-task vocabulary (Preference and the
+    # question formats): spoken by sorting, crowd, and core alike, so
+    # it sits below all of them.
+    "questions": frozenset({"exceptions"}),
+    # Durable-write primitives (atomic replace + fsync): pure stdlib
+    # over the filesystem, importable from any persistence path.
+    "io": frozenset({"exceptions"}),
     "skyline": frozenset({"exceptions"}),
     "data": frozenset({"exceptions"}),
-    "obs": frozenset({"exceptions"}),
+    # obs additionally uses the durable-write helpers for its trace /
+    # metrics exporters; io is itself a leaf over exceptions, so obs
+    # still cannot feed back into algorithm behaviour.
+    "obs": frozenset({"exceptions", "io"}),
     "incomplete": frozenset({"exceptions", "skyline", "data"}),
     "metrics": frozenset({"exceptions", "skyline", "data"}),
-    "crowd": frozenset({"exceptions", "skyline", "data", "obs"}),
-    # Intended: sorting is a machine-side algorithm layer beside
-    # skyline/data. Its existing imports of repro.crowd (the
-    # Preference vocabulary and the comparator-driven platform) are
-    # grandfathered in analysis-baseline.json until the question
-    # vocabulary is hoisted below it.
-    "sorting": frozenset({"exceptions", "skyline", "data", "obs"}),
+    "crowd": frozenset(
+        {"exceptions", "questions", "io", "skyline", "data", "obs"}
+    ),
+    # sorting is a machine-side algorithm layer beside skyline/data; it
+    # speaks the question vocabulary but never touches the crowd layer.
+    "sorting": frozenset(
+        {"exceptions", "questions", "skyline", "data", "obs"}
+    ),
     "core": frozenset(
-        {"exceptions", "skyline", "data", "obs", "crowd", "sorting"}
+        {"exceptions", "questions", "io", "skyline", "data", "obs",
+         "crowd", "sorting"}
     ),
     "query": frozenset(
-        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
-         "core"}
+        {"exceptions", "questions", "skyline", "data", "obs", "crowd",
+         "sorting", "core"}
     ),
     "experiments": frozenset(
-        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
-         "core", "query", "incomplete", "metrics", "repro"}
+        {"exceptions", "questions", "io", "skyline", "data", "obs",
+         "crowd", "sorting", "core", "query", "incomplete", "metrics",
+         "repro"}
     ),
-    # The linter itself: pure stdlib, no repro dependencies at all.
-    "analysis": frozenset(),
+    # The linter itself: pure stdlib plus the shared durable-write
+    # helper for its own baseline persistence.
+    "analysis": frozenset({"io"}),
     # repro/__init__ re-exports the public API but must not pull in the
     # experiment harness (or the linter) at import time.
     "": frozenset(
-        {"exceptions", "skyline", "data", "obs", "crowd", "sorting",
-         "core", "query", "incomplete", "metrics"}
+        {"exceptions", "questions", "io", "skyline", "data", "obs",
+         "crowd", "sorting", "core", "query", "incomplete", "metrics"}
     ),
 }
 
@@ -90,11 +104,28 @@ class AnalysisConfig:
     #: module part starts with this prefix.
     runner_prefix: str = "repro."
 
+    #: Modules that persist run artifacts across process lifetimes —
+    #: RA012 bans truncating writes there in favour of the atomic
+    #: helpers (:mod:`repro.io.atomic`) or append-only handles.
+    persistence_modules: Tuple[str, ...] = (
+        "repro.analysis.baseline",
+        "repro.crowd.journal",
+        "repro.experiments.sweep",
+        "repro.obs.exporters",
+    )
+
     def deterministic(self, module_name: str) -> bool:
         """Whether a dotted module name falls under RA001-RA003."""
         return any(
             module_name == pkg or module_name.startswith(pkg + ".")
             for pkg in self.deterministic_packages
+        )
+
+    def persistent(self, module_name: str) -> bool:
+        """Whether a dotted module name falls under RA012."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.persistence_modules
         )
 
     def top_package(self, module_name: str) -> str:

@@ -2,7 +2,7 @@
 
 Importing this package registers every built-in rule; use
 :func:`all_rules` / :func:`get_rule` to enumerate them. Codes are
-stable (``RA001``...) and grouped into five families:
+stable (``RA001``...) and grouped into six families:
 
 ========  ==================  =========================================
 code      family              invariant
@@ -18,6 +18,7 @@ RA008     cache-purity        runners are module-level and env-free
 RA009     cache-purity        runners take no mutable defaults
 RA010     exception-hygiene   no bare ``except:``
 RA011     exception-hygiene   no silent exception swallows
+RA012     persistence         no truncating writes in persistence paths
 ========  ==================  =========================================
 """
 
@@ -35,6 +36,7 @@ from repro.analysis.rules import determinism  # noqa: F401
 from repro.analysis.rules import hygiene  # noqa: F401
 from repro.analysis.rules import layering  # noqa: F401
 from repro.analysis.rules import obs_schema  # noqa: F401
+from repro.analysis.rules import persistence  # noqa: F401
 from repro.analysis.rules import purity  # noqa: F401
 
 __all__ = [

@@ -1,0 +1,99 @@
+"""Persistence family: durable artifacts are written atomically.
+
+RA012 bans truncating writes (``open(path, "w")``, ``Path.write_text``,
+``Path.write_bytes``) inside the modules that persist run artifacts —
+journal segments, sweep cache entries, analysis baselines, trace
+exports. A truncating write zeroes the old content *before* the new
+content lands, so a crash in between loses both versions; those paths
+must route through :mod:`repro.io.atomic` (write-temp, fsync, rename)
+or use append-only handles (``"a"``/``"ab"`` — the WAL pattern, which
+never destroys previously written bytes).
+
+The rule fires only in :attr:`AnalysisConfig.persistence_modules`;
+ordinary modules may still scribble scratch files however they like.
+Modes that are not static string literals are skipped — dynamically
+computed modes are not checkable, and the repository has none.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ModuleRule,
+    call_name,
+    import_map,
+    literal_strs,
+    register,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import SourceModule
+
+#: ``open`` spellings that reach the builtin truncating open.
+OPEN_CALLS = frozenset({"open", "io.open", "builtins.open"})
+
+#: pathlib convenience writers — always truncate-in-place.
+TRUNCATING_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _open_mode(node: ast.Call) -> Optional[ast.AST]:
+    """The mode argument node of an ``open`` call, if present."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    if len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+@register
+class AtomicPersistenceRule(ModuleRule):
+    """RA012: no truncating writes in persistence modules."""
+
+    code = "RA012"
+    family = "persistence"
+    summary = (
+        "persistence modules must write atomically (repro.io.atomic) "
+        "or append-only, never via truncating open()/write_text()"
+    )
+
+    def check_module(
+        self, module: "SourceModule", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not config.persistent(module.name):
+            return
+        imports = import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, imports)
+            if name in OPEN_CALLS:
+                mode_node = _open_mode(node)
+                if mode_node is None:
+                    continue  # default mode "r"
+                for mode in literal_strs(mode_node):
+                    if "w" in mode or "x" in mode:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"truncating open(..., {mode!r}) in a "
+                            "persistence module: a crash mid-write "
+                            "loses old and new content; use "
+                            "repro.io.atomic or an append-mode handle",
+                        )
+                        break
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in TRUNCATING_METHODS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{node.func.attr}() truncates in place in a "
+                    "persistence module; use atomic_write_text/"
+                    "atomic_write_bytes from repro.io.atomic",
+                )

@@ -26,6 +26,7 @@ from repro.core.engine import (
     ExecutionContext,
     ask_pair,
     build_context,
+    ensure_run_header,
     record_pref_stats,
     record_tuple,
     request_unresolved,
@@ -101,6 +102,29 @@ class CrowdSkyConfig:
     multiway: int = 2
     backend: Optional[str] = None
 
+    def to_payload(self) -> dict:
+        """JSON-able form, recorded in a run's journal header."""
+        return {
+            "pruning": self.pruning.value,
+            "policy": self.policy.value,
+            "ac_round_robin": self.ac_round_robin,
+            "probe_ascending": self.probe_ascending,
+            "multiway": self.multiway,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CrowdSkyConfig":
+        """Inverse of :meth:`to_payload` (the resume path)."""
+        return cls(
+            pruning=PruningLevel(payload["pruning"]),
+            policy=ContradictionPolicy(payload["policy"]),
+            ac_round_robin=payload["ac_round_robin"],
+            probe_ascending=payload["probe_ascending"],
+            multiway=payload["multiway"],
+            backend=payload["backend"],
+        )
+
 
 def crowdsky(
     relation: Relation,
@@ -131,6 +155,16 @@ def crowdsky(
         Skyline indices plus full question/round/cost accounting.
     """
     config = config or CrowdSkyConfig()
+    if crowd is None:
+        crowd = SimulatedCrowd(relation)
+    visible = (
+        sorted(set(visible_crowd)) if visible_crowd is not None else None
+    )
+    ensure_run_header(
+        crowd,
+        "crowdsky",
+        {"config": config.to_payload(), "visible_crowd": visible},
+    )
     with run_span(
         "crowdsky", n=len(relation), pruning=config.pruning.value
     ) as span:
@@ -139,7 +173,7 @@ def crowdsky(
             crowd,
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
-            visible_crowd=visible_crowd,
+            visible_crowd=visible,
             backend=config.backend,
         )
         result = _run_serial(context, config)
@@ -173,6 +207,11 @@ def crowdsky_budgeted(
     if crowd is None:
         crowd = SimulatedCrowd(relation)
     crowd.set_budget(max_questions)
+    ensure_run_header(
+        crowd,
+        "crowdsky_budgeted",
+        {"config": config.to_payload(), "max_questions": max_questions},
+    )
     with run_span(
         "crowdsky_budgeted", n=len(relation), budget=max_questions
     ) as span:

@@ -22,7 +22,7 @@ from repro.crowd.questions import (
     PairwiseQuestion,
     Preference,
 )
-from repro.data.relation import Relation
+from repro.data.relation import Relation, relation_fingerprint
 from repro.exceptions import CrowdSkyError
 from repro.obs import current_observation, phase
 from repro.obs.metrics import (
@@ -134,6 +134,36 @@ def seed_visible_preferences(
             prefs.add_answer(left, right, attribute, answer)
             edges += 1
     return edges
+
+
+def ensure_run_header(
+    crowd: SimulatedCrowd, algorithm: str, run: Dict[str, object]
+) -> None:
+    """Write the journal header once, before any question is posted.
+
+    Every run entry calls this right after the crowd exists and before
+    :func:`build_context` (whose duplicate preprocessing may already
+    ask rounds). The header pins down what a resume needs: the
+    algorithm and its arguments, the dataset fingerprint, the crowd
+    construction recipe (when reconstructible) and the backend's
+    initial state. A resumed run arrives here with the header already
+    on disk, so this is a no-op for it.
+    """
+    journal = crowd.journal
+    if journal is None or journal.header_written:
+        return
+    journal.write_header(
+        {
+            "algorithm": algorithm,
+            "run": run,
+            "relation": {
+                "fingerprint": relation_fingerprint(crowd.relation),
+                "n": len(crowd.relation),
+            },
+            "spec": crowd.journal_spec(),
+            "state": crowd.backend_state(),
+        }
+    )
 
 
 def build_context(

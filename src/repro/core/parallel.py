@@ -30,6 +30,7 @@ from repro.core.engine import (
     ExecutionContext,
     ask_batch,
     build_context,
+    ensure_run_header,
     record_pref_stats,
     record_tuple,
     request_unresolved,
@@ -106,6 +107,16 @@ def parallel_dset(
 ) -> CrowdSkylineResult:
     """CrowdSky with the dominating-set partitioning scheduler (§4.1)."""
     config = config or CrowdSkyConfig()
+    if crowd is None:
+        crowd = SimulatedCrowd(relation)
+    visible = (
+        sorted(set(visible_crowd)) if visible_crowd is not None else None
+    )
+    ensure_run_header(
+        crowd,
+        "parallel_dset",
+        {"config": config.to_payload(), "visible_crowd": visible},
+    )
     with run_span(
         "parallel_dset", n=len(relation), pruning=config.pruning.value
     ) as span:
@@ -114,7 +125,7 @@ def parallel_dset(
             crowd,
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
-            visible_crowd=visible_crowd,
+            visible_crowd=visible,
             backend=config.backend,
         )
 
@@ -220,6 +231,16 @@ def parallel_sl(
 ) -> CrowdSkylineResult:
     """CrowdSky with the skyline-layer scheduler (Algorithm 2, §4.2)."""
     config = config or CrowdSkyConfig()
+    if crowd is None:
+        crowd = SimulatedCrowd(relation)
+    visible = (
+        sorted(set(visible_crowd)) if visible_crowd is not None else None
+    )
+    ensure_run_header(
+        crowd,
+        "parallel_sl",
+        {"config": config.to_payload(), "visible_crowd": visible},
+    )
     with run_span(
         "parallel_sl", n=len(relation), pruning=config.pruning.value
     ) as span:
@@ -228,7 +249,7 @@ def parallel_sl(
             crowd,
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
-            visible_crowd=visible_crowd,
+            visible_crowd=visible,
             backend=config.backend,
         )
 

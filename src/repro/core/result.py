@@ -69,6 +69,25 @@ class CrowdSkylineResult:
     #: (``repro.obs.observe``); None otherwise.
     wall_time_s: Optional[float] = None
 
+    @classmethod
+    def resume(
+        cls,
+        journal,
+        relation: Relation,
+        crowd=None,
+    ) -> "CrowdSkylineResult":
+        """Resume an interrupted journaled run (see
+        :func:`repro.core.resume.resume_run`).
+
+        ``journal`` is the journal directory (or a recovered journal);
+        ``relation`` must be the dataset the original run used. The
+        import is deferred: the resume machinery pulls in every
+        algorithm entry point, which this module must not.
+        """
+        from repro.core.resume import resume_run
+
+        return resume_run(journal, relation, crowd=crowd)
+
     def _metric_total(self, name: str, fallback: int) -> int:
         """A counter total from the attached registry, or ``fallback``
         (the legacy ``CrowdStats`` field) when none is attached."""

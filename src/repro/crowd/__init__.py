@@ -13,10 +13,27 @@ with a faithful simulation:
 * :mod:`repro.crowd.faults` — deterministic fault injection
   (abandonment, HIT expiry, transient errors, spam bursts),
 * :mod:`repro.crowd.retry` — retry/backoff policy for re-posting
-  questions that failed their round.
+  questions that failed their round,
+* :mod:`repro.crowd.backends` — the transport-agnostic
+  :class:`~repro.crowd.backends.CrowdBackend` protocol (simulated /
+  replay),
+* :mod:`repro.crowd.journal` — the write-ahead vote journal making
+  runs crash-resumable (docs/durability.md).
 """
 
+from repro.crowd.backends import (
+    CrowdBackend,
+    RecordedPosting,
+    ReplayBackend,
+    SimulatedBackend,
+)
 from repro.crowd.faults import FaultPlan, FaultStats, HitOutcome
+from repro.crowd.journal import (
+    JournalWriter,
+    RecoveredJournal,
+    recover_journal,
+    segment_paths,
+)
 from repro.crowd.hits import Hit, HitLedger
 from repro.crowd.latency import LatencyEstimate, estimate_latency
 from repro.crowd.oracle import GroundTruthOracle
@@ -50,13 +67,18 @@ from repro.crowd.workers import (
 
 __all__ = [
     "BernoulliWorker",
+    "CrowdBackend",
     "CrowdStats",
     "FaultPlan",
     "FaultStats",
     "Hit",
     "HitLedger",
     "HitOutcome",
+    "JournalWriter",
     "LatencyEstimate",
+    "RecordedPosting",
+    "RecoveredJournal",
+    "ReplayBackend",
     "RetryPolicy",
     "MultiwayQuestion",
     "QualityAwareCrowd",
@@ -69,6 +91,7 @@ __all__ = [
     "DifficultyAwareWorker",
     "PerfectWorker",
     "Preference",
+    "SimulatedBackend",
     "SimulatedCrowd",
     "SkilledWorker",
     "SpammerWorker",
@@ -77,4 +100,6 @@ __all__ = [
     "VotingPolicy",
     "WorkerPool",
     "majority_vote",
+    "recover_journal",
+    "segment_paths",
 ]

@@ -87,6 +87,12 @@ class HitLedger:
         self._round_overhead = round_overhead
         self._log_sigma = log_sigma
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        # Seed-constructed ledgers can be rebuilt identically for a
+        # journal resume (which re-executes the run from the start);
+        # explicit-rng ledgers cannot (their generator's origin is
+        # unknown), so spec() reports None for them.
+        self._seed = seed if rng is None else None
+        self._reconstructible = rng is None
         self._rounds: Dict[int, RoundRecord] = {}
         self._next_hit_id = 0
         self._backoff_rounds = 0
@@ -129,6 +135,33 @@ class HitLedger:
         if rounds_waited < 0:
             raise CrowdPlatformError("rounds_waited must be >= 0")
         self._backoff_rounds += rounds_waited
+
+    def spec(self) -> Optional[Dict[str, object]]:
+        """Construction recipe for a journal header, or ``None``.
+
+        ``None`` means the ledger used a caller-supplied generator and a
+        resume must provide the ledger explicitly.
+        """
+        if not self._reconstructible:
+            return None
+        return {
+            "seconds_per_hit": self._seconds_per_hit,
+            "questions_per_hit": self._questions_per_hit,
+            "round_overhead": self._round_overhead,
+            "log_sigma": self._log_sigma,
+            "seed": self._seed,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "HitLedger":
+        """Rebuild a ledger from a :meth:`spec` recipe."""
+        return cls(
+            seconds_per_hit=spec["seconds_per_hit"],
+            questions_per_hit=spec["questions_per_hit"],
+            round_overhead=spec["round_overhead"],
+            log_sigma=spec["log_sigma"],
+            seed=spec["seed"],
+        )
 
     @property
     def num_hits(self) -> int:

@@ -38,12 +38,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, \
-    Tuple as TupleT
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, \
+    Tuple as TupleT, Union
 
 import numpy as np
 
-from repro.crowd.faults import FaultPlan, FaultStats, HitOutcome
+from repro.crowd.backends import (
+    CrowdBackend,
+    QUESTIONS_PER_HIT,
+    STATUS_ANSWERED,
+    SimulatedBackend,
+)
+from repro.crowd.faults import FaultPlan, FaultStats
+from repro.crowd.journal import JournalWriter
 from repro.crowd.oracle import GroundTruthOracle
 from repro.obs import current_observation
 from repro.obs.logging import get_logger
@@ -53,8 +61,10 @@ from repro.obs.metrics import (
     CACHE_HITS,
     DEGRADED_ANSWERS,
     FAULTS_INJECTED,
+    JOURNAL_RECORDS,
     MetricsRegistry,
     QUESTIONS_ASKED,
+    REPLAYED_POSTINGS,
     RETRIES,
     ROUND_SIZE,
     ROUNDS,
@@ -62,15 +72,9 @@ from repro.obs.metrics import (
     UNRESOLVED_QUESTIONS,
     WORKER_ASSIGNMENTS,
 )
-from repro.crowd.questions import (
-    MultiwayQuestion,
-    PairwiseQuestion,
-    Preference,
-    UnaryQuestion,
-)
 from repro.crowd.retry import RetryPolicy
 from repro.crowd.voting import DEFAULT_OMEGA, StaticVoting, VotingPolicy
-from repro.crowd.workers import SpammerWorker, WorkerPool
+from repro.crowd.workers import WorkerPool
 from repro.exceptions import (
     BudgetExhaustedError,
     CrowdPlatformError,
@@ -79,12 +83,22 @@ from repro.exceptions import (
     RetriesExhaustedError,
 )
 from repro.data.relation import Relation
+from repro.questions import (
+    MultiwayQuestion,
+    PairwiseQuestion,
+    Preference,
+    UnaryQuestion,
+)
 
 #: AMT price per question per worker used in the paper's §6.2.
 DEFAULT_PRICE = 0.02
 
-#: Questions batched per HIT in the paper's §6.2.
-QUESTIONS_PER_HIT = 5
+__all__ = [
+    "CrowdStats",
+    "DEFAULT_PRICE",
+    "QUESTIONS_PER_HIT",
+    "SimulatedCrowd",
+]
 
 _log = get_logger(__name__)
 
@@ -203,6 +217,19 @@ class SimulatedCrowd:
         failed questions become *unresolved* and callers degrade
         gracefully. Default ``None`` resolves to strict exactly when no
         fault plan is attached — the seed behavior for fault-free runs.
+    journal:
+        Optional :class:`~repro.crowd.journal.JournalWriter` (or a
+        directory path for one) recording every posting durably; see
+        :mod:`repro.crowd.journal` and ``docs/durability.md``. Disabled
+        (``None``) by default — the hooks then cost one ``is None``
+        check per posting.
+    backend:
+        Optional :class:`~repro.crowd.backends.CrowdBackend` answering
+        the postings; defaults to a fresh
+        :class:`~repro.crowd.backends.SimulatedBackend` over ``pool`` /
+        ``voting`` / ``rng`` / ``faults``. Pass a
+        :class:`~repro.crowd.backends.ReplayBackend` to serve a
+        journaled run.
     """
 
     def __init__(
@@ -217,6 +244,8 @@ class SimulatedCrowd:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         strict: Optional[bool] = None,
+        journal: Union[JournalWriter, str, Path, None] = None,
+        backend: Optional[CrowdBackend] = None,
     ):
         if rng is not None and seed is not None:
             raise CrowdPlatformError("pass either seed or rng, not both")
@@ -230,6 +259,18 @@ class SimulatedCrowd:
         self._faults = faults
         self._retry = retry
         self._strict = strict
+        if backend is None:
+            backend = SimulatedBackend(
+                oracle=self._oracle,
+                pool=self._pool,
+                voting=self._voting,
+                rng=self._rng,
+                faults=faults,
+            )
+        self._backend = backend
+        if journal is not None and not isinstance(journal, JournalWriter):
+            journal = JournalWriter(journal)
+        self._journal = journal
         self._answers: Dict[TupleT[int, int, int], Preference] = {}
         self._unary_answers: Dict[TupleT[int, int], float] = {}
         self._multiway_answers: Dict[TupleT, int] = {}
@@ -257,8 +298,93 @@ class SimulatedCrowd:
 
     @property
     def fault_stats(self) -> Optional[FaultStats]:
-        """Injected-fault tallies, or None without a fault plan."""
+        """Injected-fault tallies, or None without a fault plan.
+
+        Reported by the backend: a replay serves the tallies recorded
+        at the journaled prefix, a simulation its live plan's."""
+        stats = self._backend.fault_stats()
+        if stats is not None:
+            return stats
         return self._faults.stats if self._faults is not None else None
+
+    @property
+    def backend(self) -> CrowdBackend:
+        """The execution backend answering this platform's postings."""
+        return self._backend
+
+    @property
+    def journal(self) -> Optional[JournalWriter]:
+        """The attached write-ahead journal, if any."""
+        return self._journal
+
+    def install_backend(self, backend: CrowdBackend) -> None:
+        """Swap the execution backend (the resume path installs a
+        :class:`~repro.crowd.backends.ReplayBackend` here)."""
+        self._backend = backend
+
+    def install_journal(
+        self, journal: Union[JournalWriter, str, Path, None]
+    ) -> None:
+        """(Re)attach the write-ahead journal; None detaches it (pure
+        replay runs detach so re-execution writes nothing)."""
+        if journal is not None and not isinstance(journal, JournalWriter):
+            journal = JournalWriter(journal)
+        self._journal = journal
+
+    def backend_state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the backend's continuation state."""
+        return self._backend.state()
+
+    def journal_spec(self) -> Optional[Dict[str, Any]]:
+        """A JSON-able recipe to reconstruct this crowd, or None.
+
+        Covers the spec-able components (perfect/uniform pools, static
+        voting, fault rates, retry policy, ledger parameters). A crowd
+        built from unreconstructible parts (mixed pools, dynamic
+        voting, custom workers) returns None — such runs journal and
+        replay fine, but ``resume`` must be handed an equivalent crowd
+        explicitly.
+        """
+        pool_spec = getattr(self._pool, "spec", None)
+        if pool_spec is None:
+            return None
+        if isinstance(self._voting, StaticVoting):
+            voting_spec: Optional[Dict[str, Any]] = {
+                "kind": "static",
+                "omega": self._voting.omega,
+            }
+        else:
+            return None
+        spec: Dict[str, Any] = {
+            "pool": pool_spec,
+            "voting": voting_spec,
+            "max_questions": self._max_questions,
+            "strict": self._strict,
+            "faults": None,
+            "retry": None,
+            "ledger": None,
+        }
+        if self._faults is not None:
+            spec["faults"] = {
+                "abandonment_rate": self._faults.abandonment_rate,
+                "hit_timeout_rate": self._faults.hit_timeout_rate,
+                "transient_error_rate": self._faults.transient_error_rate,
+                "spam_burst_rate": self._faults.spam_burst_rate,
+            }
+        if self._retry is not None:
+            spec["retry"] = {
+                "max_attempts": self._retry.max_attempts,
+                "backoff_base": self._retry.backoff_base,
+                "backoff_factor": self._retry.backoff_factor,
+                "max_backoff": self._retry.max_backoff,
+                "deadline_rounds": self._retry.deadline_rounds,
+            }
+        if self._ledger is not None:
+            ledger_spec = self._ledger.spec()
+            if ledger_spec is None:
+                return None
+            spec["ledger"] = ledger_spec
+        return spec
 
     @property
     def unresolved_keys(self) -> FrozenSet[TupleT]:
@@ -337,6 +463,19 @@ class SimulatedCrowd:
                 requested=num_fresh,
                 strict=self.strict,
             )
+        # Unconditional even during replay: a resumed writer dedupes
+        # events that are already durable (and re-writes ones a crash
+        # dropped after the final posting).
+        if self._journal is not None:
+            self._journal.append_event(
+                "budget",
+                {
+                    "budget": self._max_questions,
+                    "spent": self.stats.questions,
+                    "requested": num_fresh,
+                    "strict": self.strict,
+                },
+            )
         _log.info(
             "budget of %d blocks posting %d questions (%d spent)",
             self._max_questions, num_fresh, self.stats.questions,
@@ -348,114 +487,103 @@ class SimulatedCrowd:
         self.budget_degraded = True
         return True
 
+    def _after_posting(
+        self,
+        format: str,
+        keys: List[TupleT],
+        outcomes: List[Any],
+        retried: int = 0,
+        merge: bool = False,
+        omega: Optional[int] = None,
+    ) -> None:
+        """Journal a live posting, or account a replayed one.
+
+        Called write-ahead: the posting's records hit the journal (and
+        are fsynced) before its results are applied to the platform, so
+        a crash mid-commit re-executes the round from the journal
+        instead of losing it. Replayed postings are already journaled —
+        they only count toward the replay metric.
+        """
+        if self._backend.last_was_replay:
+            self.count_metric(REPLAYED_POSTINGS)
+            return
+        if self._journal is None:
+            return
+        written = self._journal.append_posting(
+            format=format,
+            keys=keys,
+            outcomes=outcomes,
+            state=self._backend.state(),
+            retried=retried,
+            merge=merge,
+            omega=omega,
+        )
+        self.count_metric(JOURNAL_RECORDS, written)
+
     def _execute_pairwise_posting(
         self, posted: List[PairwiseQuestion], retried: int
     ) -> Dict[TupleT, str]:
-        """Execute one posted round, apply fault injection, and commit it.
+        """Execute one posted round via the backend and commit it.
 
-        Every posted question draws its workers and votes from the main
-        generator regardless of fault outcomes, so a zero-rate plan
-        leaves the answer stream byte-identical to a plan-free run.
-        Returns the failure kind (``'timeout'``/``'transient'``/
-        ``'abandoned'``) per failed question key; answered questions are
-        committed to the cache. The round commits atomically at the end.
+        The backend answers the batch (drawing workers and rolling
+        faults for a simulation, or serving the journal for a replay);
+        the platform derives all accounting from the outcomes and
+        re-emits the per-question trace events, so both backends leave
+        identical observable state. Returns the failure kind
+        (``'timeout'``/``'transient'``/``'abandoned'``) per failed
+        question key; answered questions are committed to the cache.
+        The round commits atomically at the end.
         """
-        plan = self._faults
+        outcomes = self._backend.pairwise_round(posted)
+        self._after_posting(
+            "pairwise", [q.key() for q in posted], outcomes,
+            retried=retried,
+        )
         answered: List[TupleT[PairwiseQuestion, Preference, bool]] = []
         failures: Dict[TupleT, str] = {}
         assignments = 0
         abandoned = 0
-        spammer = SpammerWorker()
         observation = current_observation()
         trace = observation.tracer if observation.enabled else None
-        for start in range(0, len(posted), QUESTIONS_PER_HIT):
-            hit_questions = posted[start:start + QUESTIONS_PER_HIT]
-            outcome = plan.roll_hit() if plan is not None else HitOutcome.OK
-            for question in hit_questions:
-                omega = self._voting.workers_for(question)
-                workers = self._pool.draw(self._rng, omega)
-                votes = [
-                    worker.answer_pairwise(question, self._oracle, self._rng)
-                    for worker in workers
-                ]
-                if outcome is HitOutcome.EXPIRED:
-                    failures[question.key()] = "timeout"
-                    plan.stats.failed_questions += 1
-                    self.count_metric(FAULTS_INJECTED, kind="timeout")
-                    if trace is not None:
-                        trace.event(
-                            "crowd.fault",
-                            question=list(question.key()),
-                            fault="timeout",
-                        )
-                    continue
-                if plan is not None and plan.roll_transient():
-                    failures[question.key()] = "transient"
-                    plan.stats.failed_questions += 1
-                    self.count_metric(FAULTS_INJECTED, kind="transient")
-                    if trace is not None:
-                        trace.event(
-                            "crowd.fault",
-                            question=list(question.key()),
-                            fault="transient",
-                        )
-                    continue
-                if outcome is HitOutcome.SPAM:
-                    votes = [
-                        spammer.answer_pairwise(
-                            question, self._oracle, plan.rng
-                        )
-                        for _ in range(omega)
-                    ]
-                    assignments += omega
-                    answered.append(
-                        (question, self._voting.aggregate(votes), True)
-                    )
-                    self.count_metric(FAULTS_INJECTED, kind="spam")
-                    if trace is not None:
-                        trace.event(
-                            "crowd.fault",
-                            question=list(question.key()),
-                            fault="spam",
-                        )
-                        for vote in votes:
-                            trace.event(
-                                "crowd.vote",
-                                question=list(question.key()),
-                                vote=vote.value,
-                            )
-                    continue
-                if plan is not None and plan.abandonment_rate > 0.0:
-                    votes = [
-                        vote
-                        for vote in votes
-                        if not plan.roll_abandonment()
-                    ]
-                if not votes:
-                    failures[question.key()] = "abandoned"
-                    abandoned += omega
-                    plan.stats.failed_questions += 1
-                    self.count_metric(FAULTS_INJECTED, kind="abandoned")
-                    if trace is not None:
-                        trace.event(
-                            "crowd.fault",
-                            question=list(question.key()),
-                            fault="abandoned",
-                        )
-                    continue
-                abandoned += omega - len(votes)
-                assignments += len(votes)
-                answered.append(
-                    (question, self._voting.aggregate(votes),
-                     len(votes) < omega)
-                )
+        for question, outcome in zip(posted, outcomes):
+            key = outcome.key
+            if outcome.status != STATUS_ANSWERED:
+                failures[key] = outcome.status
+                if outcome.status == "abandoned":
+                    abandoned += outcome.omega
+                self.count_metric(FAULTS_INJECTED, kind=outcome.status)
                 if trace is not None:
-                    for vote in votes:
+                    trace.event(
+                        "crowd.fault",
+                        question=list(key),
+                        fault=outcome.status,
+                    )
+                continue
+            if outcome.spam:
+                assignments += outcome.omega
+                answered.append((question, outcome.answer, True))
+                self.count_metric(FAULTS_INJECTED, kind="spam")
+                if trace is not None:
+                    trace.event(
+                        "crowd.fault", question=list(key), fault="spam"
+                    )
+                    for vote in outcome.votes:
                         trace.event(
                             "crowd.vote",
-                            question=list(question.key()),
+                            question=list(key),
                             vote=vote.value,
                         )
+                continue
+            abandoned += outcome.omega - len(outcome.votes)
+            assignments += len(outcome.votes)
+            answered.append((question, outcome.answer, outcome.degraded))
+            if trace is not None:
+                for vote in outcome.votes:
+                    trace.event(
+                        "crowd.vote",
+                        question=list(key),
+                        vote=vote.value,
+                    )
 
         # Commit the round atomically: stats, ledger, cache, log.
         timeout_failures = sum(
@@ -733,36 +861,22 @@ class SimulatedCrowd:
             self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
 
+        merge = same_round and bool(self.stats.round_sizes)
+        outcomes = self._backend.multiway_round(fresh)
+        self._after_posting(
+            "multiway", [q.key() for q in fresh], outcomes, merge=merge,
+        )
         assignments = 0
-        for question in fresh:
-            omega = self._voting.workers_for(
-                PairwiseQuestion(
-                    question.candidates[0],
-                    question.candidates[1],
-                    question.attribute,
-                )
-            )
-            workers = self._pool.draw(self._rng, omega)
-            votes = [
-                worker.answer_multiway(question, self._oracle, self._rng)
-                for worker in workers
-            ]
-            counts: Dict[int, int] = {}
-            for vote in votes:
-                counts[vote] = counts.get(vote, 0) + 1
-            winner = min(
-                counts, key=lambda candidate: (-counts[candidate], candidate)
-            )
-            assignments += omega
-            self._multiway_answers[question.key()] = winner
+        for question, outcome in zip(fresh, outcomes):
+            assignments += outcome.omega
+            self._multiway_answers[question.key()] = outcome.winner
             if trace is not None:
-                for vote in votes:
+                for vote in outcome.votes:
                     trace.event(
                         "crowd.vote",
                         question=list(question.key()),
                         vote=int(vote),
                     )
-        merge = same_round and bool(self.stats.round_sizes)
         if merge:
             self.stats.questions += len(fresh)
             self.stats.worker_assignments += assignments
@@ -829,24 +943,25 @@ class SimulatedCrowd:
             self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
 
+        outcomes = self._backend.unary_round(fresh, omega)
+        self._after_posting(
+            "unary",
+            [(q.tuple_index, q.attribute) for q in fresh],
+            outcomes,
+            omega=omega,
+        )
         assignments = 0
-        for question in fresh:
-            workers = self._pool.draw(self._rng, omega)
-            estimates = [
-                worker.answer_unary(question, self._oracle, self._rng)
-                for worker in workers
-            ]
-            value = float(np.mean(estimates))
-            assignments += omega
+        for question, outcome in zip(fresh, outcomes):
+            assignments += outcome.omega
             self._unary_answers[
                 (question.tuple_index, question.attribute)
-            ] = value
-            results[question] = value
+            ] = outcome.value
+            results[question] = outcome.value
             if trace is not None:
                 trace.event(
                     "crowd.estimate",
                     question=[question.tuple_index, question.attribute],
-                    value=value,
+                    value=outcome.value,
                 )
         self.stats.record_round(len(fresh), assignments)
         self.count_metric(ROUNDS)

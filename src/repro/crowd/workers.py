@@ -25,7 +25,7 @@ relative ones.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -244,6 +244,12 @@ class WorkerPool:
         if not workers:
             raise CrowdPlatformError("worker pool must not be empty")
         self._workers: List[Worker] = list(workers)
+        #: Construction recipe when the pool came from a deterministic
+        #: classmethod (``perfect``/``uniform``) — lets a journal header
+        #: record how to rebuild the pool on resume. ``None`` for hand-
+        #: built or RNG-dependent (``mixed``) pools, which a resume must
+        #: supply explicitly.
+        self.spec: Optional[Dict[str, Any]] = None
 
     @classmethod
     def uniform(
@@ -259,12 +265,39 @@ class WorkerPool:
             unary_sigma=unary_sigma,
             error_equal_fraction=error_equal_fraction,
         )
-        return cls([worker] * size)
+        pool = cls([worker] * size)
+        pool.spec = {
+            "kind": "uniform",
+            "size": size,
+            "accuracy": accuracy,
+            "unary_sigma": unary_sigma,
+            "error_equal_fraction": error_equal_fraction,
+        }
+        return pool
 
     @classmethod
     def perfect(cls) -> "WorkerPool":
         """A pool that always answers correctly (§3/§4 assumption)."""
-        return cls([PerfectWorker()])
+        pool = cls([PerfectWorker()])
+        pool.spec = {"kind": "perfect"}
+        return pool
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "WorkerPool":
+        """Rebuild a pool from a :attr:`spec` recipe (journal resume)."""
+        kind = spec.get("kind")
+        if kind == "perfect":
+            return cls.perfect()
+        if kind == "uniform":
+            return cls.uniform(
+                size=spec["size"],
+                accuracy=spec["accuracy"],
+                unary_sigma=spec["unary_sigma"],
+                error_equal_fraction=spec["error_equal_fraction"],
+            )
+        raise CrowdPlatformError(
+            f"cannot rebuild a worker pool from spec kind {kind!r}"
+        )
 
     @classmethod
     def mixed(

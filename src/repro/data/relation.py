@@ -22,6 +22,7 @@ relation canonicalizes every attribute to smaller-is-better internally via
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple as TupleT
 
@@ -306,3 +307,25 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation(n={len(self)}, schema={self._schema!r})"
+
+
+def relation_fingerprint(relation: Relation) -> str:
+    """Content hash of a relation: schema plus canonical matrices.
+
+    Two relations fingerprint equal exactly when every algorithm (and
+    the simulated crowd's oracle, which reads the latent matrix) would
+    behave identically on them. A crowd run's journal header records
+    this so a resume can refuse to replay against the wrong dataset.
+    Labels are presentation-only and deliberately excluded.
+    """
+    digest = hashlib.sha256()
+    for attr in relation.schema.attributes:
+        digest.update(
+            f"{attr.name}|{attr.kind.value}|{attr.direction.value};".encode()
+        )
+    digest.update(b"#known#")
+    digest.update(relation.known_matrix().tobytes())
+    if relation.schema.num_crowd:
+        digest.update(b"#latent#")
+        digest.update(relation.latent_matrix().tobytes())
+    return digest.hexdigest()

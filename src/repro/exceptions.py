@@ -52,6 +52,20 @@ class RetriesExhaustedError(CrowdPlatformError):
     ``RetryPolicy.max_attempts`` times without receiving an answer."""
 
 
+class JournalError(CrowdSkyError):
+    """The write-ahead vote journal is unusable (bad directory, broken
+    header, or an append after close)."""
+
+
+class JournalReplayError(JournalError):
+    """A journal replay diverged from the resumed execution.
+
+    Raised when a posting does not match the next recorded one (the
+    journal belongs to a different config/seed/dataset), when restoring
+    randomness onto a mismatched generator type, or when pure-replay
+    mode runs past the recorded postings."""
+
+
 class PreferenceConflictError(CrowdSkyError):
     """An answer would make the preference graph inconsistent (cycle)."""
 

@@ -10,6 +10,9 @@ Subcommands::
     crowdsky run fig8 --no-cache      # recompute every cell
     crowdsky trace summarize t.jsonl  # human-readable trace report
     crowdsky trace validate t.jsonl --metrics m.prom      # schema check
+    crowdsky skyline --dataset toy --journal-dir j/       # journaled run
+    crowdsky resume j/ --dataset toy  # continue an interrupted run
+    crowdsky resume j/ --dataset toy --replay             # free re-run
 
 ``run`` and ``plot`` memoize finished sweep cells in a
 content-addressed cache (``--cache-dir``, default
@@ -28,7 +31,11 @@ import sys
 from contextlib import nullcontext
 from typing import List, Optional
 
-from repro.exceptions import ExperimentError, TraceSchemaError
+from repro.exceptions import (
+    CrowdSkyError,
+    ExperimentError,
+    TraceSchemaError,
+)
 from repro.experiments.registry import (
     available_experiments,
     run_experiment,
@@ -66,6 +73,122 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the result cache (recompute every cell)",
     )
+
+
+def _add_dataset_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``--dataset`` spec shared by ``skyline``/``resume``.
+
+    The dataset itself is never journaled (it can be arbitrarily
+    large), so ``resume`` takes the same spec the original run used;
+    the journal header's relation fingerprint rejects a mismatch.
+    """
+    parser.add_argument(
+        "--dataset",
+        default="toy",
+        metavar="SPEC",
+        help=(
+            "'toy' (the paper's Figure 1 example) or "
+            "'synthetic:n=100,known=2,crowd=1,dist=ind,seed=7' "
+            "(default: toy)"
+        ),
+    )
+
+
+def _parse_dataset(spec: str):
+    """Build the relation a ``--dataset`` spec names."""
+    from repro.data.synthetic import Distribution, generate_synthetic
+    from repro.data.toy import figure1_dataset
+    from repro.exceptions import DataError
+
+    if spec == "toy":
+        return figure1_dataset()
+    if spec.startswith("synthetic:"):
+        params = {}
+        for part in spec[len("synthetic:"):].split(","):
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise DataError(f"malformed dataset parameter {part!r}")
+            params[key] = value
+        distributions = {
+            "ind": Distribution.INDEPENDENT,
+            "ant": Distribution.ANTI_CORRELATED,
+            "cor": Distribution.CORRELATED,
+        }
+        dist_key = params.pop("dist", "ind")
+        if dist_key not in distributions:
+            raise DataError(
+                f"unknown distribution {dist_key!r} "
+                "(expected ind, ant or cor)"
+            )
+        try:
+            relation = generate_synthetic(
+                n=int(params.pop("n", "100")),
+                num_known=int(params.pop("known", "2")),
+                num_crowd=int(params.pop("crowd", "1")),
+                distribution=distributions[dist_key],
+                seed=int(params.pop("seed", "0")),
+            )
+        except ValueError as error:
+            raise DataError(f"bad dataset spec {spec!r}: {error}") from None
+        if params:
+            raise DataError(
+                f"unknown dataset parameters: {', '.join(sorted(params))}"
+            )
+        return relation
+    raise DataError(
+        f"unknown dataset spec {spec!r} (expected 'toy' or 'synthetic:...')"
+    )
+
+
+def _run_skyline(args) -> int:
+    """Execute ``crowdsky skyline``: one (optionally journaled) run."""
+    from repro.core.crowdsky import crowdsky, crowdsky_budgeted
+    from repro.core.parallel import parallel_dset, parallel_sl
+    from repro.crowd.platform import SimulatedCrowd
+    from repro.crowd.workers import WorkerPool
+
+    if args.max_questions is not None and args.algorithm != "crowdsky":
+        print(
+            "error: --max-questions only applies to --algorithm crowdsky",
+            file=sys.stderr,
+        )
+        return 2
+    relation = _parse_dataset(args.dataset)
+    pool = (
+        WorkerPool.uniform(size=args.workers, accuracy=args.accuracy)
+        if args.accuracy is not None
+        else None
+    )
+    crowd = SimulatedCrowd(
+        relation, pool=pool, seed=args.seed, journal=args.journal_dir
+    )
+    if args.max_questions is not None:
+        result = crowdsky_budgeted(relation, args.max_questions, crowd)
+    elif args.algorithm == "parallel-dset":
+        result = parallel_dset(relation, crowd)
+    elif args.algorithm == "parallel-sl":
+        result = parallel_sl(relation, crowd)
+    else:
+        result = crowdsky(relation, crowd)
+    print(result.summary(relation))
+    if args.journal_dir is not None:
+        print(f"journal: {args.journal_dir}")
+    return 0
+
+
+def _run_resume(args) -> int:
+    """Execute ``crowdsky resume``: continue or replay a journal."""
+    from repro.core.resume import replay_run, resume_run
+
+    relation = _parse_dataset(args.dataset)
+    if args.replay:
+        result = replay_run(args.journal, relation)
+    else:
+        result = resume_run(args.journal, relation)
+    print(result.summary(relation))
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -133,6 +256,75 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also cross-check against a Prometheus metrics dump",
+    )
+
+    skyline = subparsers.add_parser(
+        "skyline",
+        help="run one crowd skyline computation (optionally journaled)",
+    )
+    _add_dataset_option(skyline)
+    skyline.add_argument(
+        "--algorithm",
+        choices=("crowdsky", "parallel-dset", "parallel-sl"),
+        default="crowdsky",
+        help="scheduler to run (default: crowdsky)",
+    )
+    skyline.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "attach a write-ahead journal: the run becomes resumable "
+            "with 'crowdsky resume DIR' after a crash"
+        ),
+    )
+    skyline.add_argument(
+        "--accuracy",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "simulate noisy workers answering correctly with "
+            "probability P (default: a perfect crowd)"
+        ),
+    )
+    skyline.add_argument(
+        "--workers",
+        type=int,
+        default=100,
+        metavar="N",
+        help="worker pool size for --accuracy crowds (default: 100)",
+    )
+    skyline.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="crowd-simulation RNG seed (default: 0)",
+    )
+    skyline.add_argument(
+        "--max-questions",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "question budget (crowdsky only): stop after N questions "
+            "with a conservative skyline superset"
+        ),
+    )
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="continue (or replay) a journaled skyline run",
+    )
+    resume.add_argument("journal", help="journal directory of the run")
+    _add_dataset_option(resume)
+    resume.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "re-execute a *finished* journal at zero crowd cost "
+            "instead of resuming an interrupted one"
+        ),
     )
 
     plot = subparsers.add_parser(
@@ -247,6 +439,15 @@ def _dispatch(args) -> int:
 
     if args.command == "trace":
         return _run_trace_command(args)
+
+    if args.command in ("skyline", "resume"):
+        try:
+            if args.command == "skyline":
+                return _run_skyline(args)
+            return _run_resume(args)
+        except (OSError, CrowdSkyError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     ids = (
         available_experiments()

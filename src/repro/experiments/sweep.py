@@ -61,6 +61,7 @@ from typing import (
 )
 
 from repro.exceptions import ExperimentError
+from repro.io.atomic import atomic_write_text
 from repro.obs import Observation, current_observation, install, uninstall
 from repro.obs.metrics import SWEEP_CELLS
 
@@ -255,12 +256,11 @@ class SweepCache:
             "seed": cell.seed,
             "payload": payload,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         # No sort_keys: payload dict order is meaningful (row dicts carry
         # column order), and the content address comes from key(), not
-        # from this serialization.
-        tmp.write_text(json.dumps(entry))
-        os.replace(tmp, path)
+        # from this serialization. Not durable: a lost entry just costs
+        # one recompute.
+        atomic_write_text(path, json.dumps(entry))
         self.stats.stored += 1
 
 

@@ -1,0 +1,16 @@
+"""Durable filesystem primitives shared by every persistence path.
+
+The sweep cache, the vote journal, and the analysis baseline all write
+through :mod:`repro.io.atomic` — one audited write-fsync-rename code
+path instead of three ad-hoc ones (enforced by analysis rule RA012).
+"""
+
+from __future__ import annotations
+
+from repro.io.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_dir,
+)
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]

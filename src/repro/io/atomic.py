@@ -1,0 +1,82 @@
+"""Atomic, optionally durable file replacement.
+
+The pattern: write the full payload to a same-directory temp file,
+optionally ``fsync`` it, then ``os.replace`` it over the target. A
+reader therefore sees either the old content or the new content,
+never a torn mix — and with ``durable=True`` the rename itself is
+persisted by fsyncing the parent directory, so a crash immediately
+after the call cannot roll the file back.
+
+This is the single durable-write code path of the repository
+(analysis rule RA012): cache entries, journal segments, and baseline
+files must route through these helpers rather than open-coding
+``open(path, "w")``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Persist directory-level metadata (entry creates/renames).
+
+    A no-op on platforms that refuse to open directories; on POSIX it
+    makes a preceding ``os.replace`` in ``directory`` crash-durable.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, durable: bool = False
+) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    ``durable=True`` additionally fsyncs the temp file before the
+    rename and the parent directory after it; leave it off for caches
+    where a lost entry merely costs a recompute.
+    """
+    target = Path(path)
+    tmp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+    fd = os.open(
+        os.fspath(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+    except BaseException:
+        try:
+            os.unlink(os.fspath(tmp))
+        # The original write failure is re-raised below; a secondary
+        # unlink failure must not mask it.
+        except OSError:  # repro: noqa RA011 - best-effort temp cleanup
+            pass
+        raise
+    os.replace(os.fspath(tmp), os.fspath(target))
+    if durable:
+        fsync_dir(target.parent)
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = False,
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see
+    :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding), durable=durable)

@@ -20,18 +20,21 @@ import json
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.exceptions import TraceSchemaError
+from repro.io.atomic import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 
 
 def write_trace_jsonl(events: Iterable[Dict[str, Any]], path: str) -> int:
-    """Write event records as JSON Lines; returns the number written."""
-    count = 0
-    with open(path, "w") as handle:
-        for event in events:
-            handle.write(json.dumps(event, separators=(",", ":")))
-            handle.write("\n")
-            count += 1
-    return count
+    """Write event records as JSON Lines; returns the number written.
+
+    The file is replaced atomically, so a crash mid-export leaves any
+    previous trace intact rather than a torn half-written one.
+    """
+    lines = [
+        json.dumps(event, separators=(",", ":")) for event in events
+    ]
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
+    return len(lines)
 
 
 def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
@@ -53,9 +56,9 @@ def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
 
 
 def write_metrics_prometheus(registry: MetricsRegistry, path: str) -> None:
-    """Dump a registry in Prometheus text exposition format."""
-    with open(path, "w") as handle:
-        handle.write(registry.to_prometheus())
+    """Dump a registry in Prometheus text exposition format
+    (atomically — scrapers never observe a partial dump)."""
+    atomic_write_text(path, registry.to_prometheus())
 
 
 def parse_prometheus_text(text: str) -> Dict[str, float]:

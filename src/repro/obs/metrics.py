@@ -67,6 +67,10 @@ PHASE_SECONDS = "crowdsky_phase_seconds_total"
 MEAN_VOTES_PER_QUESTION = "crowdsky_mean_votes_per_question"
 #: Sweep cells finished, labelled by ``status`` (computed / cached).
 SWEEP_CELLS = "crowdsky_sweep_cells_total"
+#: Records appended to the write-ahead vote journal.
+JOURNAL_RECORDS = "crowdsky_journal_records_total"
+#: Postings served from a journal replay instead of a live backend.
+REPLAYED_POSTINGS = "crowdsky_replayed_postings_total"
 
 #: Bucket upper bounds for :data:`ROUND_SIZE`.
 ROUND_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
@@ -95,6 +99,8 @@ DEFAULT_HELP: Dict[str, str] = {
     PHASE_SECONDS: "Wall seconds spent per instrumented phase",
     MEAN_VOTES_PER_QUESTION: "Worker assignments per posted question",
     SWEEP_CELLS: "Sweep cells finished, by status",
+    JOURNAL_RECORDS: "Records appended to the write-ahead vote journal",
+    REPLAYED_POSTINGS: "Postings served from a journal replay",
 }
 
 _LabelKey = Tuple[Tuple[str, str], ...]

@@ -75,6 +75,17 @@ EVENT_ATTRS: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "requested": (int,),
         "strict": (bool,),
     },
+    # A corrupted journal was cut back to its longest valid prefix
+    # (torn tail, checksum mismatch, epoch violation, dead segment).
+    "journal.recovered": {
+        "epochs": (int,),
+        "records": (int,),
+        "dropped": (int,),
+        "reason": (str,),
+    },
+    # An interrupted run was resumed from its journal: ``replayed``
+    # recorded postings were served before going live.
+    "run.resumed": {"algorithm": (str,), "replayed": (int,)},
     "engine.batch": {
         "pairs": (int,),
         "multiway": (int,),

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence, Tuple
 
-from repro.crowd.questions import Preference
+from repro.questions import Preference
 
 Comparator = Callable[[int, int], Preference]
 

@@ -2,17 +2,28 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.crowd.platform import SimulatedCrowd
-from repro.crowd.questions import PairwiseQuestion, Preference
+from repro.questions import PairwiseQuestion, Preference
 
 Comparator = Callable[[int, int], Preference]
 
 
-def crowd_comparator(crowd: SimulatedCrowd, attribute: int = 0) -> Comparator:
+class PairwiseAsker(Protocol):
+    """Anything that answers one pairwise question per call.
+
+    Structural stand-in for the crowd platform
+    (:class:`repro.crowd.platform.SimulatedCrowd` satisfies it), so the
+    sorting layer never imports the crowd layer (RA004).
+    """
+
+    def ask_pairwise(self, question: PairwiseQuestion) -> Preference:
+        ...  # pragma: no cover - protocol signature
+
+
+def crowd_comparator(crowd: PairwiseAsker, attribute: int = 0) -> Comparator:
     """A comparator that asks the crowd, one question per round.
 
     Repeated comparisons of the same pair are served from the platform's

@@ -8,7 +8,7 @@ comparisons, giving ``n − 1 + (n − 1)⌈log₂ n⌉`` comparisons for a full
 total order — "the minimum number of questions" among the sorting
 baselines the paper considers.
 
-The comparator returns a :class:`~repro.crowd.questions.Preference`
+The comparator returns a :class:`~repro.questions.Preference`
 (LEFT = first argument preferred). ``EQUAL`` keeps the first argument as
 the match winner, which makes the sort stable for tied items.
 """
@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.crowd.questions import Preference
+from repro.questions import Preference
 
 Comparator = Callable[[int, int], Preference]
 

@@ -4,7 +4,7 @@ Covers, per the linter contract (docs/static-analysis.md):
 
 * every rule family fires on a bad fixture and stays quiet on a good
   one (determinism RA001-RA003, layering RA004, obs-schema RA005-RA007,
-  cache-purity RA008-RA009, hygiene RA010-RA011);
+  cache-purity RA008-RA009, hygiene RA010-RA011, persistence RA012);
 * inline ``# repro: noqa`` suppression semantics;
 * baseline round-trip: write -> load -> apply yields a clean gate,
   TODO rationales and stale entries fail it;
@@ -78,11 +78,11 @@ def test_registry_lists_all_rules():
     rules = all_rules()
     got = [rule.code for rule in rules]
     assert got == sorted(got)
-    assert got == [f"RA{n:03d}" for n in range(1, 12)]
+    assert got == [f"RA{n:03d}" for n in range(1, 13)]
     families = {rule.family for rule in rules}
     assert {
         "determinism", "layering", "obs-schema", "cache-purity",
-        "exception-hygiene",
+        "exception-hygiene", "persistence",
     } <= families
     assert get_rule("RA004").family == "layering"
     assert get_rule("RA999") is None
@@ -343,6 +343,57 @@ def test_handled_except_is_quiet():
     assert run(good) == []
 
 
+# -- persistence (RA012) -----------------------------------------------------
+
+
+def test_truncating_writes_fire_in_persistence_module():
+    bad = mod(
+        "repro.crowd.journal",
+        "import io\n"
+        "from pathlib import Path\n\n"
+        "def dump(path, data):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(data)\n"
+        "    with io.open(path, mode='wb') as handle:\n"
+        "        handle.write(data)\n"
+        "    with open(path, 'x') as handle:\n"
+        "        handle.write(data)\n"
+        "    Path(path).write_text(data)\n"
+        "    Path(path).write_bytes(data)\n",
+    )
+    findings = run(bad)
+    assert codes(findings) == ["RA012"]
+    assert len(findings) == 5
+
+
+def test_append_read_and_atomic_writes_are_quiet():
+    good = mod(
+        "repro.crowd.journal",
+        "from repro.io.atomic import atomic_write_text\n\n"
+        "def keep(path, data, mode):\n"
+        "    with open(path, 'ab') as handle:\n"
+        "        handle.write(data)\n"
+        "    with open(path) as handle:\n"
+        "        handle.read()\n"
+        "    with open(path, 'rb') as handle:\n"
+        "        handle.read()\n"
+        "    with open(path, mode) as handle:  # not statically known\n"
+        "        handle.write(data)\n"
+        "    atomic_write_text(path, data)\n",
+    )
+    assert run(good) == []
+
+
+def test_truncating_write_outside_persistence_scope_is_quiet():
+    scratch = mod(
+        "repro.data.scratch",
+        "def dump(path, data):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(data)\n",
+    )
+    assert run(scratch) == []
+
+
 # -- suppression -------------------------------------------------------------
 
 
@@ -534,7 +585,7 @@ def test_cli_rules_json(capsys):
     assert main(["rules", "--format", "json"]) == 0
     document = json.loads(capsys.readouterr().out)
     assert [r["code"] for r in document["rules"]] == [
-        f"RA{n:03d}" for n in range(1, 12)
+        f"RA{n:03d}" for n in range(1, 13)
     ]
 
 
@@ -559,8 +610,10 @@ def test_repo_src_is_clean_modulo_committed_baseline():
 
 
 def test_committed_baseline_entries_all_have_rationales():
+    # The last grandfathered entries (sorting -> crowd layering) were
+    # retired when the question vocabulary moved to repro.questions; any
+    # entry that reappears must carry a real rationale.
     entries = load_baseline(REPO_ROOT / "analysis-baseline.json")
-    assert entries, "committed baseline unexpectedly empty"
     for entry in entries:
         assert entry.rationale.strip(), entry
         assert not entry.rationale.startswith("TODO"), entry
