@@ -1,6 +1,9 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core test-sweep test-analysis test-recovery regen-golden closure-baseline bench bench-ci bench-sweep experiments experiments-paper examples trace-demo lint lint-baseline
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-perf-obs test-sweep test-analysis test-recovery regen-golden closure-baseline bench bench-ci bench-sweep bench-trajectory bench-baseline experiments experiments-paper examples trace-demo report-demo lint lint-baseline
+
+# Suite for bench-trajectory (smoke | ci | paper).
+BENCH_SUITE ?= ci
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -26,6 +29,12 @@ test-pref:
 # Assert the bitset closure backend is never slower than the reference.
 test-perf-core:
 	pytest tests/test_perf_core.py -m perf -q
+
+# Pin the <2% disabled-observability overhead claim and the profiler/
+# cost-report exactness properties (docs/profiling.md).
+test-perf-obs:
+	pytest tests/test_perf_obs.py -m perf -q
+	pytest tests/test_report.py -m obs -q
 
 # Sweep engine: parallel/serial differential, result cache, obs merging.
 test-sweep:
@@ -74,6 +83,18 @@ bench-ci:
 bench-sweep:
 	PYTHONPATH=src python benchmarks/record_sweep_baseline.py
 
+# Run the pinned benchmark suite (BENCH_SUITE=smoke|ci|paper,
+# default ci: closure n=512, fig6a cold/warm, crowdsky n=1000), append
+# a fingerprinted record to BENCH_trajectory.json and gate it against
+# benchmarks/baselines/bench_trajectory.json (docs/profiling.md).
+bench-trajectory:
+	python -m repro.experiments bench --suite $(BENCH_SUITE) --check
+
+# Refresh the committed bench baselines after an intentional
+# performance change (re-records smoke + ci), then commit the diff.
+bench-baseline:
+	PYTHONPATH=src python benchmarks/record_bench_baseline.py
+
 experiments:
 	python -m repro.experiments run all --scale ci
 
@@ -93,3 +114,12 @@ trace-demo:
 	python -m repro.experiments trace validate trace-demo.jsonl \
 		--metrics trace-demo.prom
 	python -m repro.experiments trace summarize trace-demo.jsonl
+
+# Record a traced run into a scratch directory and assemble the
+# RunReport artifact (report.json + report.md) from it.
+report-demo:
+	mkdir -p report-demo
+	python -m repro.experiments run fig6a --scale smoke --no-cache \
+		--trace report-demo/trace.jsonl --metrics report-demo/metrics.prom
+	python -m repro.experiments report report-demo
+	@echo "see report-demo/report.md"

@@ -1,0 +1,52 @@
+"""Refresh the committed benchmark-trajectory baselines.
+
+Re-runs the ``smoke`` and ``ci`` suites of the benchmark-trajectory
+harness (:mod:`repro.experiments.bench`) with the default repeat count,
+writes the two fresh records to
+``benchmarks/baselines/bench_trajectory.json`` (the reference
+``crowdsky bench --check`` and the CI gate compare against), and
+appends the same records to ``BENCH_trajectory.json`` so the committed
+trajectory stays continuous across baseline refreshes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench_baseline.py
+
+Regenerate (and commit both diffs) after an *intentional* performance
+change — the gate exists precisely to make unintentional ones loud.
+Records carry the recording machine's fingerprint; on other machines
+the gate skips unless forced with ``--ignore-fingerprint``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.bench import append_record, run_suite
+from repro.io.atomic import atomic_write_text
+
+ROOT = Path(__file__).parent.parent
+BASELINE_PATH = ROOT / "benchmarks" / "baselines" / "bench_trajectory.json"
+TRAJECTORY_PATH = ROOT / "BENCH_trajectory.json"
+SUITES = ("smoke", "ci")
+REPEATS = 3
+
+
+def main() -> None:
+    records = {}
+    for suite in SUITES:
+        print(f"== suite {suite} ({REPEATS} repeats)")
+        record = run_suite(suite, repeats=REPEATS, progress=print)
+        records[suite] = record
+        total = append_record(record, TRAJECTORY_PATH)
+        print(f"appended to {TRAJECTORY_PATH} ({total} records)")
+    atomic_write_text(
+        str(BASELINE_PATH),
+        json.dumps({"suites": records}, indent=2, sort_keys=True) + "\n",
+    )
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -110,8 +110,10 @@ class AnalysisConfig:
     persistence_modules: Tuple[str, ...] = (
         "repro.analysis.baseline",
         "repro.crowd.journal",
+        "repro.experiments.bench",
         "repro.experiments.sweep",
         "repro.obs.exporters",
+        "repro.obs.report",
     )
 
     def deterministic(self, module_name: str) -> bool:

@@ -157,6 +157,7 @@ def crowdsky(
     config = config or CrowdSkyConfig()
     if crowd is None:
         crowd = SimulatedCrowd(relation)
+    crowd.set_cost_context(scheduler="crowdsky")
     visible = (
         sorted(set(visible_crowd)) if visible_crowd is not None else None
     )
@@ -206,6 +207,7 @@ def crowdsky_budgeted(
     config = config or CrowdSkyConfig()
     if crowd is None:
         crowd = SimulatedCrowd(relation)
+    crowd.set_cost_context(scheduler="crowdsky_budgeted")
     crowd.set_budget(max_questions)
     ensure_run_header(
         crowd,
@@ -249,6 +251,7 @@ def _run_budgeted(
             degraded=True,
             fault_stats=crowd.fault_stats,
             metrics=crowd.metrics,
+            cost_records=list(crowd.cost_records),
         )
     level = config.pruning
     order = context.eval_order() if level.use_p1 else [
@@ -272,6 +275,7 @@ def _run_budgeted(
                 complete += 1
                 record_tuple(context, trace, t, "skyline")
                 continue
+            context.crowd.set_cost_context(phase="evaluate", tuple=t)
             task = TupleTask(
                 t,
                 context.ds_in_eval_order(t),
@@ -302,6 +306,7 @@ def _run_budgeted(
                 skyline.add(t)
             record_tuple(context, trace, t, task.outcome.value)
 
+    context.crowd.set_cost_context(phase="finalize", tuple=None)
     # Default-skyline finalization for undecided tuples: keep them unless
     # a dominating-set member already dominates them in current knowledge
     # (any member counts — even a non-skyline one dominates t in A).
@@ -333,6 +338,7 @@ def _run_budgeted(
         unresolved_pairs=sorted(context.unresolved_pairs),
         fault_stats=context.crowd.fault_stats,
         metrics=context.crowd.metrics,
+        cost_records=list(context.crowd.cost_records),
     )
 
 
@@ -355,6 +361,7 @@ def _run_serial(
                 skyline.add(t)  # complete skyline tuple from start (§2.3)
                 record_tuple(context, trace, t, "skyline")
                 continue
+            context.crowd.set_cost_context(phase="evaluate", tuple=t)
             task = TupleTask(
                 t,
                 context.ds_in_eval_order(t),
@@ -391,4 +398,5 @@ def _run_serial(
         fault_stats=context.crowd.fault_stats,
         budget_exhausted=context.crowd.budget_degraded,
         metrics=context.crowd.metrics,
+        cost_records=list(context.crowd.cost_records),
     )

@@ -24,7 +24,7 @@ from repro.crowd.questions import (
 )
 from repro.data.relation import Relation, relation_fingerprint
 from repro.exceptions import CrowdSkyError
-from repro.obs import current_observation, phase
+from repro.obs import NOOP_TRACER, current_observation, phase
 from repro.obs.metrics import (
     CLOSURE_UPDATES,
     PREF_CACHE_HITS,
@@ -194,27 +194,37 @@ def build_context(
         raise CrowdSkyError("crowd platform was built for a different relation")
 
     with phase("build_context"):
+        observation = current_observation()
+        tracer = observation.tracer if observation.enabled else None
         n = len(relation)
         prefs = PreferenceSystem(
             n, relation.schema.num_crowd, policy, backend=backend
         )
         if visible_crowd is not None:
             edges = seed_visible_preferences(prefs, relation, visible_crowd)
-            observation = current_observation()
-            if observation.enabled:
-                observation.tracer.event("engine.visible_seed", edges=edges)
-        removed = preprocess_duplicates(relation, crowd, prefs)
+            if tracer is not None:
+                tracer.event("engine.visible_seed", edges=edges)
+        # Sub-phase spans (profiled as self time by repro.obs.perf);
+        # plain tracer spans, not phase(), so the phase_seconds counter
+        # keeps its flat, non-overlapping semantics.
+        spans = tracer if tracer is not None else NOOP_TRACER
+        crowd.set_cost_context(phase="preprocess")
+        with spans.span("engine.preprocess"):
+            removed = preprocess_duplicates(relation, crowd, prefs)
+        crowd.set_cost_context(phase=None)
 
-        known = relation.known_matrix()
-        matrix = dominance_matrix(known)
-        frequency = FrequencyOracle(matrix)
+        with spans.span("engine.dominance"):
+            known = relation.known_matrix()
+            matrix = dominance_matrix(known)
+            frequency = FrequencyOracle(matrix)
 
-        dominating = dominating_sets(known)
-        if removed:
-            dominating = [
-                {s for s in members if s not in removed}
-                for members in dominating
-            ]
+        with spans.span("engine.dominating_sets"):
+            dominating = dominating_sets(known)
+            if removed:
+                dominating = [
+                    {s for s in members if s not in removed}
+                    for members in dominating
+                ]
 
         context = ExecutionContext(
             relation=relation,
@@ -464,21 +474,27 @@ def ask_batch(
             multiway=len(multiway),
             questions=len(questions),
         )
+    spans = (
+        observation.tracer if observation.enabled else NOOP_TRACER
+    )
     rounds_before = context.crowd.stats.rounds
     if questions:
-        apply_answers(prefs, context.crowd.ask_pairwise_round(questions))
+        answers = context.crowd.ask_pairwise_round(questions)
+        with spans.span("engine.apply_answers", answers=len(answers)):
+            apply_answers(prefs, answers)
         _note_unresolved(context, questions)
     if multiway:
         # Merge only when the pairwise half executed a round just now; a
         # fully cache-served (or empty) pairwise half means the multiway
         # posting is this batch's one round.
-        apply_multiway_answers(
-            prefs,
-            context.crowd.ask_multiway_round(
-                multiway,
-                same_round=context.crowd.stats.rounds > rounds_before,
-            ),
+        multiway_answers = context.crowd.ask_multiway_round(
+            multiway,
+            same_round=context.crowd.stats.rounds > rounds_before,
         )
+        with spans.span(
+            "engine.apply_answers", answers=len(multiway_answers)
+        ):
+            apply_multiway_answers(prefs, multiway_answers)
 
 
 def preprocess_duplicates(

@@ -91,6 +91,7 @@ def _result(
         fault_stats=context.crowd.fault_stats,
         budget_exhausted=context.crowd.budget_degraded,
         metrics=context.crowd.metrics,
+        cost_records=list(context.crowd.cost_records),
     )
 
 
@@ -109,6 +110,7 @@ def parallel_dset(
     config = config or CrowdSkyConfig()
     if crowd is None:
         crowd = SimulatedCrowd(relation)
+    crowd.set_cost_context(scheduler="parallel_dset")
     visible = (
         sorted(set(visible_crowd)) if visible_crowd is not None else None
     )
@@ -143,6 +145,10 @@ def parallel_dset(
                 record_tuple(context, trace, t, "skyline")
 
             for size in sorted(groups):
+                # Charge each |DS(t)|-group's rounds as one "layer".
+                context.crowd.set_cost_context(
+                    phase="evaluate", layer=size
+                )
                 members = groups[size]
                 for batch in _disjoint_batches(
                     context, members, complete_non_skyline
@@ -233,6 +239,7 @@ def parallel_sl(
     config = config or CrowdSkyConfig()
     if crowd is None:
         crowd = SimulatedCrowd(relation)
+    crowd.set_cost_context(scheduler="parallel_sl")
     visible = (
         sorted(set(visible_crowd)) if visible_crowd is not None else None
     )
@@ -274,7 +281,13 @@ def parallel_sl(
         finished: Set[int] = set()
 
         with phase("evaluate"):
+            wave = 0
             while len(finished) < len(tasks):
+                wave += 1
+                # Each activation wave is one "layer" for attribution.
+                context.crowd.set_cost_context(
+                    phase="evaluate", layer=wave
+                )
                 requests: Dict[int, PairRequest] = {}
                 changed = True
                 while changed:

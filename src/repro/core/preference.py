@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.crowd.questions import Preference
 from repro.exceptions import CrowdSkyError, PreferenceConflictError
+from repro.obs import current_observation
 
 #: Environment variable selecting the default preference backend.
 BACKEND_ENV_VAR = "REPRO_PREF_BACKEND"
@@ -518,11 +519,23 @@ class PreferenceSystem:
         Returns ``{(u, v): per-attribute relations}`` for every distinct
         input pair. Schedulers use this to test a whole candidate round
         (batch building, budget finalization) against the closure at
-        once instead of re-querying pair by pair.
+        once instead of re-querying pair by pair. Under an active trace
+        each pass is one ``pref.resolve`` span, so the profiler can set
+        closure time against crowd time.
         """
+        unique = dict.fromkeys(pairs)
+        observation = current_observation()
+        if observation.enabled:
+            with observation.tracer.span(
+                "pref.resolve", pairs=len(unique), backend=self.backend
+            ):
+                return {
+                    pair: self.pair_relations(pair[0], pair[1])
+                    for pair in unique
+                }
         return {
             pair: self.pair_relations(pair[0], pair[1])
-            for pair in dict.fromkeys(pairs)
+            for pair in unique
         }
 
     # -- AC-level predicates --------------------------------------------

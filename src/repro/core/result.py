@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple as TupleT
+from math import ceil
+from typing import Any, Dict, List, Optional, Set, Tuple as TupleT
 
 from repro.crowd.faults import FaultStats
-from repro.crowd.platform import CrowdStats
+from repro.crowd.platform import (
+    CrowdStats,
+    DEFAULT_PRICE,
+    QUESTIONS_PER_HIT,
+)
 from repro.crowd.questions import PairwiseQuestion, Preference
+from repro.crowd.voting import DEFAULT_OMEGA
 from repro.data.relation import Relation
 from repro.obs.metrics import (
     DEGRADED_ANSWERS,
@@ -68,6 +74,10 @@ class CrowdSkylineResult:
     #: Wall-clock seconds of the run, stamped when a trace was active
     #: (``repro.obs.observe``); None otherwise.
     wall_time_s: Optional[float] = None
+    #: One dict per executed crowd posting (round index, format,
+    #: question/assignment/retry/fault counts, attribution context) —
+    #: see ``SimulatedCrowd.cost_records``. Feeds :meth:`cost_breakdown`.
+    cost_records: List[Dict[str, Any]] = field(default_factory=list)
 
     @classmethod
     def resume(
@@ -87,6 +97,81 @@ class CrowdSkylineResult:
         from repro.core.resume import resume_run
 
         return resume_run(journal, relation, crowd=crowd)
+
+    def cost_breakdown(
+        self,
+        price: float = DEFAULT_PRICE,
+        omega: int = DEFAULT_OMEGA,
+        per_hit: int = QUESTIONS_PER_HIT,
+    ) -> Dict[str, Any]:
+        """Charge the run's money back to what caused each round.
+
+        Aggregates :attr:`cost_records` by round (merged multiway
+        postings share their predecessor round's HIT arithmetic, like
+        :meth:`CrowdStats.hit_cost`) and attributes each round's HITs to
+        the context recorded when it executed — scheduler, phase, layer
+        and tuple dimensions. ``total_cost`` is computed with the exact
+        expression the ledger uses, so it equals
+        ``stats.hit_cost(price, omega, per_hit)`` bit for bit whenever
+        the records cover the whole run.
+        """
+        dimensions = ("scheduler", "phase", "layer", "tuple")
+        per_round: Dict[int, Dict[str, Any]] = {}
+        order: List[int] = []
+        questions = 0
+        retried = 0
+        assignments = 0
+        faults = 0
+        for record in self.cost_records:
+            index = record["round"]
+            entry = per_round.get(index)
+            if entry is None:
+                entry = per_round[index] = {
+                    "questions": 0,
+                    "context": record.get("context", {}),
+                }
+                order.append(index)
+            entry["questions"] += record["questions"]
+            questions += record["questions"]
+            retried += record.get("retried", 0)
+            assignments += record.get("assignments", 0)
+            faults += record.get("faults", 0)
+        total_hits = 0
+        by_dimension: Dict[str, Dict[str, Dict[str, Any]]] = {
+            dim: {} for dim in dimensions
+        }
+        for index in order:
+            entry = per_round[index]
+            hits = ceil(entry["questions"] / per_hit)
+            total_hits += hits
+            for dim in dimensions:
+                value = entry["context"].get(dim)
+                key = "(unattributed)" if value is None else str(value)
+                bucket = by_dimension[dim].setdefault(
+                    key, {"rounds": 0, "questions": 0, "hits": 0}
+                )
+                bucket["rounds"] += 1
+                bucket["questions"] += entry["questions"]
+                bucket["hits"] += hits
+        for groups in by_dimension.values():
+            for bucket in groups.values():
+                bucket["cost"] = price * omega * bucket["hits"]
+        return {
+            "price": price,
+            "omega": omega,
+            "questions_per_hit": per_hit,
+            "rounds": len(order),
+            "questions": questions,
+            "retried": retried,
+            "assignments": assignments,
+            "faults": faults,
+            "hits": total_hits,
+            "total_cost": price * omega * total_hits,
+            "by_scheduler": by_dimension["scheduler"],
+            "by_phase": by_dimension["phase"],
+            "by_layer": by_dimension["layer"],
+            "by_tuple": by_dimension["tuple"],
+        }
 
     def _metric_total(self, name: str, fallback: int) -> int:
         """A counter total from the attached registry, or ``fallback``

@@ -287,6 +287,14 @@ class SimulatedCrowd:
         self.question_log: List[
             TupleT[int, PairwiseQuestion, Preference]
         ] = []
+        #: Who-to-charge context for the *next* posting; schedulers call
+        #: :meth:`set_cost_context` as they move through layers/phases.
+        self.cost_context: Dict[str, Any] = {}
+        #: One record per executed posting (always on — a dict append per
+        #: round): round index, format, question/assignment/retry/fault
+        #: counts and the cost context that caused it. Feeds
+        #: ``CrowdSkylineResult.cost_breakdown()``.
+        self.cost_records: List[Dict[str, Any]] = []
 
     @property
     def strict(self) -> bool:
@@ -394,6 +402,46 @@ class SimulatedCrowd:
     def is_unresolved(self, question: PairwiseQuestion) -> bool:
         """Whether the platform has permanently given up on a question."""
         return question.key() in self._unresolved
+
+    def set_cost_context(self, **context: Any) -> None:
+        """Update the attribution context charged for future postings.
+
+        Pass ``scheduler=`` / ``phase=`` / ``layer=`` / ``tuple=``
+        (free-form values); ``None`` clears a key. Always available —
+        attribution is part of the cost model, not of observability.
+        """
+        for key, value in context.items():
+            if value is None:
+                self.cost_context.pop(key, None)
+            else:
+                self.cost_context[key] = value
+
+    def _record_cost(
+        self,
+        format: str,
+        questions: int,
+        assignments: int,
+        retried: int = 0,
+        merged: bool = False,
+        faults: int = 0,
+    ) -> None:
+        """Append one cost-attribution record for an executed posting.
+
+        ``round`` is the committed round index; a merged multiway
+        posting shares its predecessor's index (matching how
+        :meth:`CrowdStats.record_round` sizes HITs)."""
+        self.cost_records.append(
+            {
+                "round": self.stats.rounds,
+                "format": format,
+                "questions": questions,
+                "assignments": assignments,
+                "retried": retried,
+                "merged": merged,
+                "faults": faults,
+                "context": dict(self.cost_context),
+            }
+        )
 
     def count_metric(
         self, name: str, amount: float = 1, **labels: str
@@ -534,7 +582,15 @@ class SimulatedCrowd:
         question key; answered questions are committed to the cache.
         The round commits atomically at the end.
         """
-        outcomes = self._backend.pairwise_round(posted)
+        observation = current_observation()
+        trace = observation.tracer if observation.enabled else None
+        if trace is not None:
+            with trace.span(
+                "crowd.post", format="pairwise", questions=len(posted)
+            ):
+                outcomes = self._backend.pairwise_round(posted)
+        else:
+            outcomes = self._backend.pairwise_round(posted)
         self._after_posting(
             "pairwise", [q.key() for q in posted], outcomes,
             retried=retried,
@@ -543,8 +599,6 @@ class SimulatedCrowd:
         failures: Dict[TupleT, str] = {}
         assignments = 0
         abandoned = 0
-        observation = current_observation()
-        trace = observation.tracer if observation.enabled else None
         for question, outcome in zip(posted, outcomes):
             key = outcome.key
             if outcome.status != STATUS_ANSWERED:
@@ -605,6 +659,10 @@ class SimulatedCrowd:
         if degraded_answers:
             self.count_metric(DEGRADED_ANSWERS, degraded_answers)
         self._observe_round_size(len(posted))
+        self._record_cost(
+            "pairwise", len(posted), assignments,
+            retried=retried, faults=len(failures),
+        )
         if trace is not None:
             trace.event(
                 "crowd.round",
@@ -613,6 +671,7 @@ class SimulatedCrowd:
                 assignments=assignments,
                 retried=retried,
                 format="pairwise",
+                **self.cost_context,
             )
         _log.debug(
             "round %d: %d questions, %d assignments, %d failures",
@@ -862,7 +921,13 @@ class SimulatedCrowd:
         self.stats.cached_hits += cached
 
         merge = same_round and bool(self.stats.round_sizes)
-        outcomes = self._backend.multiway_round(fresh)
+        if trace is not None:
+            with trace.span(
+                "crowd.post", format="multiway", questions=len(fresh)
+            ):
+                outcomes = self._backend.multiway_round(fresh)
+        else:
+            outcomes = self._backend.multiway_round(fresh)
         self._after_posting(
             "multiway", [q.key() for q in fresh], outcomes, merge=merge,
         )
@@ -888,6 +953,9 @@ class SimulatedCrowd:
         self.count_metric(QUESTIONS_ASKED, len(fresh))
         if assignments:
             self.count_metric(WORKER_ASSIGNMENTS, assignments)
+        self._record_cost(
+            "multiway", len(fresh), assignments, merged=merge,
+        )
         if trace is not None:
             trace.event(
                 "crowd.round_merged" if merge else "crowd.round",
@@ -896,6 +964,7 @@ class SimulatedCrowd:
                 assignments=assignments,
                 retried=0,
                 format="multiway",
+                **self.cost_context,
             )
         if self._ledger is not None:
             self._ledger.record_round(self.stats.rounds, len(fresh))
@@ -943,7 +1012,13 @@ class SimulatedCrowd:
             self.count_metric(CACHE_HITS, cached)
         self.stats.cached_hits += cached
 
-        outcomes = self._backend.unary_round(fresh, omega)
+        if trace is not None:
+            with trace.span(
+                "crowd.post", format="unary", questions=len(fresh)
+            ):
+                outcomes = self._backend.unary_round(fresh, omega)
+        else:
+            outcomes = self._backend.unary_round(fresh, omega)
         self._after_posting(
             "unary",
             [(q.tuple_index, q.attribute) for q in fresh],
@@ -969,6 +1044,7 @@ class SimulatedCrowd:
         if assignments:
             self.count_metric(WORKER_ASSIGNMENTS, assignments)
         self._observe_round_size(len(fresh))
+        self._record_cost("unary", len(fresh), assignments)
         if trace is not None:
             trace.event(
                 "crowd.round",
@@ -977,6 +1053,7 @@ class SimulatedCrowd:
                 assignments=assignments,
                 retried=0,
                 format="unary",
+                **self.cost_context,
             )
         if self._ledger is not None:
             self._ledger.record_round(self.stats.rounds, len(fresh))

@@ -9,10 +9,16 @@ Subcommands::
     crowdsky run fig8 --jobs 4        # fan cells out over 4 processes
     crowdsky run fig8 --no-cache      # recompute every cell
     crowdsky trace summarize t.jsonl  # human-readable trace report
+    crowdsky trace summarize t.jsonl --format json        # machine form
     crowdsky trace validate t.jsonl --metrics m.prom      # schema check
     crowdsky skyline --dataset toy --journal-dir j/       # journaled run
     crowdsky resume j/ --dataset toy  # continue an interrupted run
     crowdsky resume j/ --dataset toy --replay             # free re-run
+    crowdsky report runs/exp1/        # RunReport (JSON+Markdown) from
+                                      # the trace/metrics in a directory
+    crowdsky bench --suite smoke      # append a benchmark-trajectory
+                                      # record; --check gates on the
+                                      # committed baseline
 
 ``run`` and ``plot`` memoize finished sweep cells in a
 content-addressed cache (``--cache-dir``, default
@@ -178,6 +184,121 @@ def _run_skyline(args) -> int:
     return 0
 
 
+def _find_run_inputs(directory):
+    """Locate the trace (required), metrics dump and journal of a run
+    directory for ``crowdsky report``: the first ``*.jsonl`` that
+    validates as a trace, the first ``*.prom``, and a nested journal
+    directory containing ``wal-*`` segments (or the directory itself)."""
+    from pathlib import Path
+
+    from repro.crowd.journal import segment_paths
+
+    root = Path(directory)
+    if root.is_file():
+        return root, None, None
+    traces = [
+        path
+        for path in sorted(root.glob("*.jsonl"))
+        if not path.name.startswith("wal-")
+    ]
+    metrics = sorted(root.glob("*.prom"))
+    journal = None
+    if segment_paths(root):
+        journal = root
+    else:
+        for child in sorted(root.iterdir()):
+            if child.is_dir() and segment_paths(child):
+                journal = child
+                break
+    return (
+        traces[0] if traces else None,
+        metrics[0] if metrics else None,
+        journal,
+    )
+
+
+def _journal_stats(directory) -> dict:
+    """Plain-dict journal health for a RunReport; the obs layer cannot
+    import :mod:`repro.crowd` (RA004), so the CLI bridges the two."""
+    from repro.crowd.journal import recover_journal, segment_paths
+
+    recovered = recover_journal(directory, heal=False)
+    return {
+        "directory": str(directory),
+        "segments": len(segment_paths(directory)),
+        "postings": len(recovered.postings),
+        "kept_records": recovered.kept_records,
+        "dropped_records": recovered.dropped_records,
+        "truncated": recovered.truncated,
+        "problems": list(recovered.problems),
+        "has_header": recovered.header is not None,
+    }
+
+
+def _run_report(args) -> int:
+    """Execute ``crowdsky report``: assemble a RunReport artifact."""
+    from repro.obs.exporters import parse_prometheus_text
+    from repro.obs.report import build_run_report, write_run_report
+
+    trace_path, metrics_path, journal_dir = _find_run_inputs(args.run)
+    if args.journal is not None:
+        journal_dir = args.journal
+    if trace_path is None:
+        print(
+            f"error: no JSONL trace found in {args.run}", file=sys.stderr
+        )
+        return 2
+    events = read_trace_jsonl(trace_path)
+    metrics = None
+    if metrics_path is not None:
+        with open(metrics_path) as handle:
+            metrics = parse_prometheus_text(handle.read())
+    journal = _journal_stats(journal_dir) if journal_dir else None
+    report = build_run_report(
+        events,
+        metrics=metrics,
+        journal=journal,
+        meta={"trace": str(trace_path), "run": str(args.run)},
+    )
+    out_dir = args.output if args.output is not None else args.run
+    paths = write_run_report(report, out_dir)
+    print(f"report: {paths['json']}")
+    print(f"report: {paths['markdown']}")
+    return 0
+
+
+def _run_bench(args) -> int:
+    """Execute ``crowdsky bench``: record + optionally gate a suite."""
+    from repro.experiments.bench import (
+        append_record,
+        check_against_baseline,
+        run_suite,
+    )
+
+    record = run_suite(
+        args.suite,
+        repeats=args.repeats,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    total = append_record(record, args.output)
+    print(
+        f"recorded suite {args.suite!r} ({args.repeats} repeat(s)) -> "
+        f"{args.output} ({total} record(s))"
+    )
+    if not args.check:
+        return 0
+    findings, message = check_against_baseline(
+        record,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        ignore_fingerprint=args.ignore_fingerprint,
+    )
+    print(message)
+    if findings:
+        return 0 if args.report_only else 1
+    return 0
+
+
 def _run_resume(args) -> int:
     """Execute ``crowdsky resume``: continue or replay a journal."""
     from repro.core.resume import replay_run, resume_run
@@ -247,6 +368,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="print a human-readable trace report"
     )
     summarize.add_argument("path", help="JSONL trace file")
+    summarize.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "output format: 'text' (default) or 'json' (the schema-"
+            "validated summary RunReports embed)"
+        ),
+    )
     validate = trace_actions.add_parser(
         "validate", help="check a trace against the event schema"
     )
@@ -327,6 +457,92 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    report = subparsers.add_parser(
+        "report",
+        help=(
+            "assemble a RunReport (JSON + Markdown) from a run "
+            "directory's trace/metrics/journal"
+        ),
+    )
+    report.add_argument(
+        "run",
+        help="run directory holding the JSONL trace (or the trace file)",
+    )
+    report.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="journal directory (default: auto-detected under RUN)",
+    )
+    report.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory for report.json / report.md "
+            "(default: the run directory)"
+        ),
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help=(
+            "run the pinned benchmark suite and append a record to the "
+            "trajectory file"
+        ),
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("smoke", "ci", "paper"),
+        default="smoke",
+        help="benchmark suite (default: smoke)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="K",
+        help="timed repeats per benchmark; medians are compared "
+        "(default: 3)",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_trajectory.json",
+        help="trajectory file to append to (default: "
+        "BENCH_trajectory.json)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the new record against the committed baseline",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="benchmarks/baselines/bench_trajectory.json",
+        help="baseline file for --check (default: "
+        "benchmarks/baselines/bench_trajectory.json)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="allowed slowdown fraction for --check (default: 0.30 = "
+        "1.30x)",
+    )
+    bench.add_argument(
+        "--ignore-fingerprint",
+        action="store_true",
+        help="compare even when the baseline machine differs",
+    )
+    bench.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print regressions but exit 0 (PR mode)",
+    )
+
     plot = subparsers.add_parser(
         "plot", help="render an experiment as an ASCII chart"
     )
@@ -391,7 +607,14 @@ def _run_trace_command(args) -> int:
         return 2
 
     if args.trace_command == "summarize":
-        print(summarize_trace(events))
+        if getattr(args, "format", "text") == "json":
+            from repro.obs.report import trace_summary, validate_trace_summary
+
+            summary = trace_summary(events)
+            validate_trace_summary(summary)
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(summarize_trace(events))
         return 0
 
     errors = validate_events(events)
@@ -440,10 +663,14 @@ def _dispatch(args) -> int:
     if args.command == "trace":
         return _run_trace_command(args)
 
-    if args.command in ("skyline", "resume"):
+    if args.command in ("skyline", "resume", "report", "bench"):
         try:
             if args.command == "skyline":
                 return _run_skyline(args)
+            if args.command == "report":
+                return _run_report(args)
+            if args.command == "bench":
+                return _run_bench(args)
             return _run_resume(args)
         except (OSError, CrowdSkyError) as error:
             print(f"error: {error}", file=sys.stderr)

@@ -63,7 +63,11 @@ from typing import (
 from repro.exceptions import ExperimentError
 from repro.io.atomic import atomic_write_text
 from repro.obs import Observation, current_observation, install, uninstall
-from repro.obs.metrics import SWEEP_CELLS
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SWEEP_CACHE_LOOKUP_SECONDS,
+    SWEEP_CELLS,
+)
 
 #: Bump when the cache entry layout changes (invalidates all entries).
 CACHE_VERSION = 1
@@ -215,7 +219,32 @@ class SweepCache:
         return self.directory / key[:2] / f"{key}.json"
 
     def get(self, cell: Cell) -> Tuple[bool, Any]:
-        """``(hit, payload)`` for the cell; heals corrupted entries."""
+        """``(hit, payload)`` for the cell; heals corrupted entries.
+
+        Under an active observation each lookup is one
+        ``sweep.cache_get`` span and one latency-histogram observation
+        labelled by its outcome (hit / miss / corrupt).
+        """
+        observation = current_observation()
+        if not observation.enabled:
+            return self._get(cell)
+        corrupt_before = self.stats.corrupt
+        with observation.tracer.span("sweep.cache_get") as span:
+            hit, payload = self._get(cell)
+        if hit:
+            status = "hit"
+        elif self.stats.corrupt > corrupt_before:
+            status = "corrupt"
+        else:
+            status = "miss"
+        observation.metrics.histogram(
+            SWEEP_CACHE_LOOKUP_SECONDS,
+            buckets=LATENCY_BUCKETS_S,
+            status=status,
+        ).observe(span.duration_s or 0.0)
+        return hit, payload
+
+    def _get(self, cell: Cell) -> Tuple[bool, Any]:
         path = self.entry_path(cell)
         try:
             text = path.read_text()
@@ -244,7 +273,21 @@ class SweepCache:
         return True, payload
 
     def put(self, cell: Cell, payload: Any) -> None:
-        """Persist one finished cell atomically."""
+        """Persist one finished cell atomically (one ``sweep.cache_put``
+        span + ``status="store"`` latency observation when traced)."""
+        observation = current_observation()
+        if not observation.enabled:
+            self._put(cell, payload)
+            return
+        with observation.tracer.span("sweep.cache_put") as span:
+            self._put(cell, payload)
+        observation.metrics.histogram(
+            SWEEP_CACHE_LOOKUP_SECONDS,
+            buckets=LATENCY_BUCKETS_S,
+            status="store",
+        ).observe(span.duration_s or 0.0)
+
+    def _put(self, cell: Cell, payload: Any) -> None:
         path = self.entry_path(cell)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {

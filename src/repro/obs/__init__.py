@@ -56,6 +56,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.perf import (
+    machine_fingerprint,
+    phase_breakdown,
+    profile_spans,
+    regress,
+)
+from repro.obs.report import (
+    build_run_report,
+    render_markdown,
+    trace_summary,
+    write_run_report,
+)
 from repro.obs.tracer import NOOP_TRACER, NoOpTracer, Span, Tracer
 
 __all__ = [
@@ -68,14 +80,22 @@ __all__ = [
     "Observation",
     "Span",
     "Tracer",
+    "build_run_report",
     "current_observation",
+    "machine_fingerprint",
     "observe",
     "parse_prometheus_text",
     "phase",
+    "phase_breakdown",
+    "profile_spans",
     "read_trace_jsonl",
+    "regress",
+    "render_markdown",
     "run_span",
     "summarize_trace",
+    "trace_summary",
     "write_metrics_prometheus",
+    "write_run_report",
     "write_trace_jsonl",
 ]
 

@@ -71,9 +71,22 @@ SWEEP_CELLS = "crowdsky_sweep_cells_total"
 JOURNAL_RECORDS = "crowdsky_journal_records_total"
 #: Postings served from a journal replay instead of a live backend.
 REPLAYED_POSTINGS = "crowdsky_replayed_postings_total"
+#: Seconds spent in one journal flush+fsync (histogram; the durability
+#: tax every committed posting pays).
+JOURNAL_FSYNC_SECONDS = "crowdsky_journal_fsync_seconds"
+#: Seconds spent in one sweep-cache lookup or store (histogram),
+#: labelled by ``status`` (hit / miss / corrupt / store).
+SWEEP_CACHE_LOOKUP_SECONDS = "crowdsky_sweep_cache_lookup_seconds"
 
 #: Bucket upper bounds for :data:`ROUND_SIZE`.
 ROUND_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+#: Bucket upper bounds (seconds) for the I/O latency histograms
+#: (:data:`JOURNAL_FSYNC_SECONDS`, :data:`SWEEP_CACHE_LOOKUP_SECONDS`).
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0,
+)
 
 #: Default help strings attached on first registration.
 DEFAULT_HELP: Dict[str, str] = {
@@ -101,6 +114,9 @@ DEFAULT_HELP: Dict[str, str] = {
     SWEEP_CELLS: "Sweep cells finished, by status",
     JOURNAL_RECORDS: "Records appended to the write-ahead vote journal",
     REPLAYED_POSTINGS: "Postings served from a journal replay",
+    JOURNAL_FSYNC_SECONDS: "Seconds spent in one journal flush+fsync",
+    SWEEP_CACHE_LOOKUP_SECONDS:
+        "Seconds spent in one sweep-cache lookup or store, by status",
 }
 
 _LabelKey = Tuple[Tuple[str, str], ...]

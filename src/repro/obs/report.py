@@ -1,0 +1,435 @@
+"""Unified RunReport: one artifact per run, from trace + metrics.
+
+A *RunReport* is a JSON document (with a Markdown rendering) that
+answers the three questions every CrowdSky experiment is ultimately
+about — where did the wall time go, where did the money go, and what
+did the crowd actually do. It is assembled purely from recorded
+artifacts (the JSONL trace, the Prometheus metrics dump, and optional
+journal statistics passed in as plain dicts — this module sits in the
+``obs`` layer and cannot import :mod:`repro.crowd`), so a report can be
+produced long after the run, on a different machine, via ``crowdsky
+report <trace-dir>``.
+
+Money is modelled exactly as :class:`~repro.crowd.platform.CrowdStats`
+prices it (the paper's AMT model): each latency round of *q* fresh
+questions costs ``ceil(q / per_hit)`` HITs, and every HIT pays
+``price`` to each of ``omega`` assigned workers. The breakdown total is
+computed with the *identical expression* — ``price * omega *
+sum(hits)`` — so it matches the ledger's ``hit_cost`` bit for bit; the
+acceptance tests pin that equality. The defaults below mirror the
+platform's (duplicated deliberately: layering forbids the import).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import TraceSchemaError
+from repro.io.atomic import atomic_write_text
+from repro.obs.perf import phase_breakdown, profile_spans, utc_timestamp
+
+#: AMT cost-model defaults; keep in lockstep with
+#: ``repro.crowd.platform`` (DEFAULT_PRICE / DEFAULT_OMEGA /
+#: QUESTIONS_PER_HIT) — asserted equal in ``tests/test_report.py``.
+DEFAULT_PRICE = 0.02
+DEFAULT_OMEGA = 5
+QUESTIONS_PER_HIT = 5
+
+#: Event names that contribute fresh questions to a latency round.
+ROUND_EVENTS = ("crowd.round", "crowd.round_merged")
+
+#: Cost-context attributes stamped on round events (see
+#: ``SimulatedCrowd.set_cost_context``); each becomes one breakdown
+#: dimension.
+COST_DIMENSIONS = ("scheduler", "phase", "layer", "tuple")
+
+TRACE_SUMMARY_SCHEMA = "crowdsky.trace_summary/1"
+RUN_REPORT_SCHEMA = "crowdsky.run_report/1"
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable trace summary (``crowdsky trace summarize --format json``)
+# ---------------------------------------------------------------------------
+
+
+def trace_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The JSON twin of :func:`repro.obs.exporters.summarize_trace`.
+
+    Same headline numbers, machine-readable, plus the per-span-name
+    profile. Validated by :func:`validate_trace_summary` and embedded
+    verbatim in every RunReport.
+    """
+    rounds = [e for e in events if e.get("name") == "crowd.round"]
+    questions = 0
+    retried = 0
+    for event in events:
+        if event.get("name") in ROUND_EVENTS:
+            attrs = event.get("attrs", {})
+            questions += attrs.get("questions", 0)
+            retried += attrs.get("retried", 0)
+    faults: Dict[str, int] = {}
+    for event in events:
+        if event.get("name") == "crowd.fault":
+            kind = str(event.get("attrs", {}).get("fault", "?"))
+            faults[kind] = faults.get(kind, 0) + 1
+    by_name: Dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "event":
+            name = event.get("name", "?")
+            by_name[name] = by_name.get(name, 0) + 1
+    wall_s: Optional[float] = None
+    if events:
+        first = events[0].get("ts", 0)
+        wall_s = (max(e.get("ts", 0) for e in events) - first) / 1e9
+    return {
+        "schema": TRACE_SUMMARY_SCHEMA,
+        "events": len(events),
+        "wall_s": wall_s,
+        "rounds": len(rounds),
+        "questions": questions,
+        "retried": retried,
+        "faults": faults,
+        "events_by_name": by_name,
+        "spans": [
+            profile.to_dict()
+            for _, profile in sorted(profile_spans(events).items())
+        ],
+    }
+
+
+def validate_trace_summary(document: Mapping[str, Any]) -> None:
+    """Structural check; raises :class:`TraceSchemaError` on mismatch."""
+    if document.get("schema") != TRACE_SUMMARY_SCHEMA:
+        raise TraceSchemaError(
+            f"not a trace summary: schema={document.get('schema')!r}"
+        )
+    for key, kinds in (
+        ("events", int),
+        ("rounds", int),
+        ("questions", int),
+        ("retried", int),
+        ("faults", dict),
+        ("events_by_name", dict),
+        ("spans", list),
+    ):
+        if not isinstance(document.get(key), kinds):
+            raise TraceSchemaError(
+                f"trace summary field {key!r} missing or mistyped"
+            )
+    wall = document.get("wall_s")
+    if wall is not None and not isinstance(wall, (int, float)):
+        raise TraceSchemaError("trace summary field 'wall_s' mistyped")
+    for span in document["spans"]:
+        if not isinstance(span, dict) or "name" not in span:
+            raise TraceSchemaError("trace summary span entry mistyped")
+
+
+# ---------------------------------------------------------------------------
+# Cost attribution from round events
+# ---------------------------------------------------------------------------
+
+
+def _run_span_of_events(
+    events: Sequence[Dict[str, Any]]
+) -> Dict[Any, Any]:
+    """Map each span id to its nearest ancestor span named ``run``
+    (itself included), or None — the scope of one crowd instance's
+    round counter."""
+    parents: Dict[Any, Any] = {}
+    names: Dict[Any, Any] = {}
+    for record in events:
+        if record.get("kind") == "span_start":
+            span = record.get("span")
+            parents[span] = record.get("parent")
+            names[span] = record.get("name")
+    resolved: Dict[Any, Any] = {}
+    for span in names:
+        chain = []
+        current = span
+        while (
+            current is not None
+            and current not in resolved
+            and names.get(current) != "run"
+        ):
+            chain.append(current)
+            current = parents.get(current)
+        if current is None:
+            anchor = None
+        elif names.get(current) == "run":
+            anchor = current
+            resolved[current] = current
+        else:
+            anchor = resolved[current]
+        for link in chain:
+            resolved[link] = anchor
+    return resolved
+
+
+def cost_from_events(
+    events: Sequence[Dict[str, Any]],
+    price: float = DEFAULT_PRICE,
+    omega: int = DEFAULT_OMEGA,
+    per_hit: int = QUESTIONS_PER_HIT,
+) -> Dict[str, Any]:
+    """Charge every round's money back to its recorded cost context.
+
+    Round events carry the context that caused them (scheduler, phase,
+    layer, tuple — see ``SimulatedCrowd.set_cost_context``). Questions
+    folded into an earlier round by a merged multiway posting
+    (``crowd.round_merged``) share that round's HIT arithmetic, exactly
+    as :class:`CrowdStats` accounts them. Per-dimension costs each
+    price an integer HIT count, and the grand total prices the integer
+    sum — the same expression the ledger uses, so equality is exact.
+
+    Round counters restart with every crowd instance, so in a trace
+    holding several runs (a sweep) the number alone would collide
+    across runs; rounds are therefore keyed by (nearest enclosing
+    ``run`` span, round number), which scopes the counter to its run.
+    """
+    run_of = _run_span_of_events(events)
+    per_round: Dict[Any, Dict[str, Any]] = {}
+    order: List[Any] = []
+    questions = 0
+    retried = 0
+    assignments = 0
+    for event in events:
+        if event.get("name") not in ROUND_EVENTS:
+            continue
+        attrs = event.get("attrs", {})
+        index = (
+            run_of.get(event.get("span")),
+            attrs.get("round", len(order)),
+        )
+        entry = per_round.get(index)
+        if entry is None:
+            entry = per_round[index] = {
+                "questions": 0,
+                "context": {
+                    dim: attrs.get(dim) for dim in COST_DIMENSIONS
+                },
+            }
+            order.append(index)
+        entry["questions"] += attrs.get("questions", 0)
+        questions += attrs.get("questions", 0)
+        retried += attrs.get("retried", 0)
+        assignments += attrs.get("assignments", 0)
+
+    total_hits = 0
+    by_dimension: Dict[str, Dict[str, Dict[str, Any]]] = {
+        dim: {} for dim in COST_DIMENSIONS
+    }
+    for index in order:
+        entry = per_round[index]
+        hits = math.ceil(entry["questions"] / per_hit) if entry["questions"] else 0
+        total_hits += hits
+        for dim in COST_DIMENSIONS:
+            value = entry["context"].get(dim)
+            key = "(unattributed)" if value is None else str(value)
+            bucket = by_dimension[dim].setdefault(
+                key, {"rounds": 0, "questions": 0, "hits": 0}
+            )
+            bucket["rounds"] += 1
+            bucket["questions"] += entry["questions"]
+            bucket["hits"] += hits
+    for groups in by_dimension.values():
+        for bucket in groups.values():
+            bucket["cost"] = price * omega * bucket["hits"]
+    return {
+        "price": price,
+        "omega": omega,
+        "questions_per_hit": per_hit,
+        "rounds": len(order),
+        "questions": questions,
+        "retried": retried,
+        "assignments": assignments,
+        "hits": total_hits,
+        "total_cost": price * omega * total_hits,
+        "by_scheduler": by_dimension["scheduler"],
+        "by_phase": by_dimension["phase"],
+        "by_layer": by_dimension["layer"],
+        "by_tuple": by_dimension["tuple"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# RunReport assembly / rendering / persistence
+# ---------------------------------------------------------------------------
+
+
+def build_run_report(
+    events: Sequence[Dict[str, Any]],
+    metrics: Optional[Mapping[str, float]] = None,
+    journal: Optional[Mapping[str, Any]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+    price: float = DEFAULT_PRICE,
+    omega: int = DEFAULT_OMEGA,
+    per_hit: int = QUESTIONS_PER_HIT,
+) -> Dict[str, Any]:
+    """Assemble the RunReport document from recorded artifacts.
+
+    ``metrics`` is a parsed Prometheus snapshot (``{series: value}``,
+    see :func:`repro.obs.exporters.parse_prometheus_text`); ``journal``
+    is a plain stats dict computed by the caller (the ``obs`` layer
+    cannot read journals itself).
+    """
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "generated_at": utc_timestamp(),
+        "meta": dict(meta) if meta else {},
+        "trace": trace_summary(events),
+        "profile": phase_breakdown(events),
+        "cost": cost_from_events(events, price=price, omega=omega, per_hit=per_hit),
+        "metrics": dict(metrics) if metrics else {},
+        "journal": dict(journal) if journal else None,
+    }
+
+
+def validate_run_report(document: Mapping[str, Any]) -> None:
+    """Structural check; raises :class:`TraceSchemaError` on mismatch."""
+    if document.get("schema") != RUN_REPORT_SCHEMA:
+        raise TraceSchemaError(
+            f"not a run report: schema={document.get('schema')!r}"
+        )
+    validate_trace_summary(document.get("trace", {}))
+    profile = document.get("profile")
+    if not isinstance(profile, dict) or "phases" not in profile:
+        raise TraceSchemaError("run report field 'profile' missing or mistyped")
+    cost = document.get("cost")
+    if not isinstance(cost, dict) or "total_cost" not in cost:
+        raise TraceSchemaError("run report field 'cost' missing or mistyped")
+    if not isinstance(document.get("metrics"), dict):
+        raise TraceSchemaError("run report field 'metrics' mistyped")
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    return f"{value * 1000:.3f} ms"
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """Render a RunReport as human-facing Markdown."""
+    lines: List[str] = ["# CrowdSky run report", ""]
+    meta = report.get("meta") or {}
+    lines.append(f"Generated: {report.get('generated_at', '?')}")
+    for key in sorted(meta):
+        lines.append(f"- **{key}**: {meta[key]}")
+    trace = report["trace"]
+    lines += [
+        "",
+        "## Headline",
+        "",
+        f"| events | wall | rounds | questions | retried |",
+        f"|---|---|---|---|---|",
+        f"| {trace['events']} | {_fmt_seconds(trace['wall_s'])} "
+        f"| {trace['rounds']} | {trace['questions']} "
+        f"| {trace['retried']} |",
+    ]
+    if trace["faults"]:
+        rendered = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(trace["faults"].items())
+        )
+        lines += ["", f"Injected faults: {rendered}"]
+
+    profile = report["profile"]
+    lines += [
+        "",
+        "## Where the time went",
+        "",
+        f"Total traced wall time: {_fmt_seconds(profile['total_wall_s'])}"
+        + (
+            f" (CPU {_fmt_seconds(profile['total_cpu_s'])})"
+            if profile.get("total_cpu_s") is not None
+            else ""
+        ),
+        "",
+        "| phase | count | self | share | inclusive | cpu (self) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for phase in sorted(
+        profile["phases"], key=lambda p: p["self_s"], reverse=True
+    ):
+        cpu = (
+            _fmt_seconds(phase["self_cpu_s"])
+            if phase.get("self_cpu_s") is not None
+            else "—"
+        )
+        lines.append(
+            f"| `{phase['name']}` | {phase['count']} "
+            f"| {_fmt_seconds(phase['self_s'])} | {phase['share']:.1%} "
+            f"| {_fmt_seconds(phase['wall_s'])} | {cpu} |"
+        )
+
+    cost = report["cost"]
+    lines += [
+        "",
+        "## Where the money went",
+        "",
+        f"{cost['questions']} questions in {cost['rounds']} rounds → "
+        f"{cost['hits']} HITs × {cost['omega']} workers × "
+        f"${cost['price']:.2f} = **${cost['total_cost']:.2f}**",
+    ]
+    for dim, title in (
+        ("by_scheduler", "By scheduler"),
+        ("by_phase", "By phase"),
+        ("by_layer", "By layer"),
+    ):
+        groups = cost.get(dim) or {}
+        if not groups or set(groups) == {"(unattributed)"}:
+            continue
+        lines += [
+            "",
+            f"### {title}",
+            "",
+            "| group | rounds | questions | HITs | cost |",
+            "|---|---|---|---|---|",
+        ]
+        for key in sorted(groups):
+            bucket = groups[key]
+            lines.append(
+                f"| {key} | {bucket['rounds']} | {bucket['questions']} "
+                f"| {bucket['hits']} | ${bucket['cost']:.2f} |"
+            )
+
+    journal = report.get("journal")
+    if journal:
+        lines += ["", "## Journal", ""]
+        for key in sorted(journal):
+            lines.append(f"- **{key}**: {journal[key]}")
+
+    metrics = report.get("metrics") or {}
+    fsync = {
+        k: v for k, v in metrics.items()
+        if k.startswith("crowdsky_journal_fsync_seconds")
+        or k.startswith("crowdsky_sweep_cache_lookup_seconds")
+    }
+    if fsync:
+        lines += [
+            "",
+            "## I/O latency series",
+            "",
+            "| series | value |",
+            "|---|---|",
+        ]
+        for key in sorted(fsync):
+            lines.append(f"| `{key}` | {fsync[key]:g} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_run_report(report: Mapping[str, Any], directory: str) -> Dict[str, str]:
+    """Persist ``report.json`` + ``report.md`` atomically under
+    ``directory``; returns the written paths."""
+    import os
+
+    validate_run_report(report)
+    os.makedirs(directory, exist_ok=True)
+    json_path = os.path.join(directory, "report.json")
+    md_path = os.path.join(directory, "report.md")
+    atomic_write_text(json_path, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(md_path, render_markdown(report))
+    return {"json": json_path, "markdown": md_path}

@@ -9,7 +9,12 @@ dicts, one per emission, ready for JSONL export::
 
 ``ts`` is nanoseconds of monotonic time since the tracer was created
 (:func:`time.perf_counter_ns`), so traces are ordering- and
-duration-faithful but carry no wall-clock identity. Spans nest via
+duration-faithful but carry no wall-clock identity. Span records
+additionally carry a ``"cpu"`` key — nanoseconds of process CPU time
+(:func:`time.process_time_ns`) relative to the same origin — so the
+profiler (:mod:`repro.obs.perf`) can split wall time into CPU work vs
+waiting (fsync, simulated crowd latency). Like ``ts``, the ``cpu``
+stamps are stripped by the determinism tests: they vary run to run. Spans nest via
 :mod:`contextvars`: events emitted inside a ``with tracer.span(...)``
 block are stamped with the enclosing span's id, and nested spans record
 their parent — the context-local stack survives generators and
@@ -88,7 +93,7 @@ class Span:
         self.start_ns = tracer._now()
         tracer._emit(
             self.start_ns, SPAN_START, self.name, self.span_id,
-            self.parent, self.attrs,
+            self.parent, self.attrs, cpu=tracer._cpu_now(),
         )
         self._token = tracer._current.set(self.span_id)
         return self
@@ -101,6 +106,7 @@ class Span:
         tracer._emit(
             self.end_ns, SPAN_END, self.name, self.span_id, self.parent,
             {"error": True} if exc_type is not None else {},
+            cpu=tracer._cpu_now(),
         )
         return False
 
@@ -124,9 +130,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns):
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        cpu_clock: Callable[[], int] = time.process_time_ns,
+    ):
         self._clock = clock
         self._origin = clock()
+        self._cpu_clock = cpu_clock
+        self._cpu_origin = cpu_clock()
         self._assert_known = _strict_checker()
         self._counter = 0
         self._current: contextvars.ContextVar[Optional[int]] = (
@@ -137,6 +149,9 @@ class Tracer:
 
     def _now(self) -> int:
         return self._clock() - self._origin
+
+    def _cpu_now(self) -> int:
+        return self._cpu_clock() - self._cpu_origin
 
     def _next_id(self) -> int:
         self._counter += 1
@@ -150,15 +165,19 @@ class Tracer:
         span: Optional[int],
         parent: Optional[int],
         attrs: Dict[str, Any],
+        cpu: Optional[int] = None,
     ) -> None:
-        self.events.append({
+        record = {
             "ts": ts,
             "kind": kind,
             "name": name,
             "span": span,
             "parent": parent,
             "attrs": attrs,
-        })
+        }
+        if cpu is not None:
+            record["cpu"] = cpu
+        self.events.append(record)
 
     def event(self, name: str, **attrs: Any) -> None:
         """Emit one point-in-time event under the current span.
@@ -189,6 +208,7 @@ class Tracer:
         if not events:
             return
         now = self._now()
+        cpu_now = self._cpu_now()
         current = self._current.get()
         mapping: Dict[int, int] = {}
 
@@ -208,6 +228,7 @@ class Tracer:
                 remap(record["span"]),
                 remap(record["parent"]),
                 record["attrs"],
+                cpu=cpu_now if "cpu" in record else None,
             )
 
 

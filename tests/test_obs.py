@@ -24,6 +24,7 @@ import time
 
 import pytest
 from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.crowdsky import crowdsky
 from repro.core.parallel import parallel_sl
@@ -253,8 +254,14 @@ class TestResultReporting:
 
 
 def _normalized(events):
+    # "ts" and "cpu" are the two wall/CPU clock stamps; everything else
+    # (ids, names, attrs) must replay identically.
     return [
-        {key: value for key, value in event.items() if key != "ts"}
+        {
+            key: value
+            for key, value in event.items()
+            if key not in ("ts", "cpu")
+        }
         for event in events
     ]
 
@@ -279,6 +286,49 @@ class TestDeterminism:
                 crowdsky(relation, crowd=crowd)
             traces.append(_normalized(observation.tracer.events))
         assert traces[0] == traces[1]
+
+
+class TestMetricsMergeProperty:
+    @ROBUSTNESS_SETTINGS
+    @given(data=st.data())
+    def test_dump_absorb_roundtrips_buckets_in_any_merge_order(self, data):
+        """Folding worker registries into a parent (dump → absorb) must
+        reproduce the exact histogram a single registry would have
+        built, whatever the merge order. Values are dyadic rationals so
+        even the float sums stay bit-exact."""
+        observations = st.tuples(
+            st.integers(0, 4096).map(lambda i: i / 1024.0),
+            st.sampled_from(["hit", "miss", "corrupt"]),
+        )
+        chunks = data.draw(
+            st.lists(
+                st.lists(observations, max_size=12),
+                min_size=1,
+                max_size=5,
+            )
+        )
+
+        def build(registry, chunk):
+            for value, status in chunk:
+                registry.histogram(
+                    M.SWEEP_CACHE_LOOKUP_SECONDS,
+                    buckets=M.LATENCY_BUCKETS_S,
+                    status=status,
+                ).observe(value)
+
+        expected = M.MetricsRegistry()
+        dumps = []
+        for chunk in chunks:
+            build(expected, chunk)
+            worker = M.MetricsRegistry()
+            build(worker, chunk)
+            dumps.append(worker.dump())
+
+        order = data.draw(st.permutations(range(len(dumps))))
+        merged = M.MetricsRegistry()
+        for index in order:
+            merged.absorb(dumps[index])
+        assert merged.snapshot() == expected.snapshot()
 
 
 class TestOverhead:

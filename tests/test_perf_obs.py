@@ -1,0 +1,94 @@
+"""Pin the cost of *disabled* observability (``make test-perf-obs``).
+
+Every instrumented hot path is guarded by ``current_observation()``
+plus one ``.enabled`` read. The claim these tests pin: with
+observability off, the guards account for **under 2%** of an
+end-to-end run. Rather than diffing two noisy wall-clock runs (whose
+difference *is* the noise), the 2% bound is checked constructively —
+count how many times a real run consults the guard, measure the
+per-consultation cost in isolation, and compare their product against
+the run's own wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.crowdsky import crowdsky
+from repro.crowd.platform import SimulatedCrowd
+from repro.data.synthetic import generate_synthetic
+from repro.obs import current_observation, install, uninstall
+
+pytestmark = pytest.mark.perf
+
+OVERHEAD_BUDGET = 0.02
+
+
+class _CountingDisabled:
+    """Stand-in observation that is permanently off but counts how many
+    times the hot paths consult it. Only ``enabled`` may ever be read
+    while disabled — anything else would crash the run, which is
+    exactly what we want a test to catch."""
+
+    def __init__(self):
+        self.hits = 0
+
+    @property
+    def enabled(self):
+        self.hits += 1
+        return False
+
+
+def _run_once(relation):
+    crowd = SimulatedCrowd(relation, seed=0)
+    start = time.perf_counter()
+    crowdsky(relation, crowd)
+    return time.perf_counter() - start
+
+
+class TestDisabledOverhead:
+    def test_guard_cost_stays_under_two_percent(self):
+        relation = generate_synthetic(200, 2, 2, seed=7)
+
+        # Wall time of the real run (default observation: disabled).
+        wall = min(_run_once(relation) for _ in range(3))
+
+        # Guard consultations of the identical run.
+        counting = _CountingDisabled()
+        install(counting)
+        try:
+            _run_once(relation)
+            guard_hits = counting.hits
+        finally:
+            uninstall(counting)
+        assert guard_hits > 0  # the instrumentation is actually wired
+
+        # Per-consultation cost of the *real* disabled observation.
+        samples = 200_000
+        observation = current_observation()
+        assert not observation.enabled
+        start = time.perf_counter()
+        for _ in range(samples):
+            if current_observation().enabled:  # pragma: no cover
+                raise AssertionError("observation unexpectedly enabled")
+        per_guard = (time.perf_counter() - start) / samples
+
+        overhead = guard_hits * per_guard
+        assert overhead < OVERHEAD_BUDGET * wall, (
+            f"{guard_hits} guards x {per_guard * 1e9:.0f}ns = "
+            f"{overhead * 1e3:.2f}ms vs {OVERHEAD_BUDGET:.0%} of "
+            f"{wall * 1e3:.1f}ms"
+        )
+
+    def test_disabled_run_emits_nothing(self):
+        """The new instrumentation sites (engine sub-phases, crowd
+        postings, preference resolution) must leave zero residue when
+        observability is off."""
+        relation = generate_synthetic(120, 2, 2, seed=3)
+        crowdsky(relation)
+        observation = current_observation()
+        assert not observation.enabled
+        assert observation.tracer.events == []
+        assert observation.metrics is None
