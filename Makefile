@@ -1,9 +1,13 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core test-perf-obs test-sweep test-analysis test-recovery regen-golden closure-baseline bench bench-ci bench-sweep bench-trajectory bench-baseline experiments experiments-paper examples trace-demo report-demo lint lint-baseline
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-perf-obs test-sweep test-analysis test-recovery test-sharded regen-golden closure-baseline bench bench-ci bench-sweep bench-trajectory bench-baseline bench-scale experiments experiments-paper examples trace-demo report-demo lint lint-baseline
 
-# Suite for bench-trajectory (smoke | ci | paper).
+# Suite for bench-trajectory (smoke | ci | paper | scale).
 BENCH_SUITE ?= ci
+
+# Shard counts exercised by test-sharded (space-separated; empty =
+# the suite's default {1 2 4 7} — the CI matrix pins one per job).
+REPRO_TEST_SHARDS ?=
 
 # Seeds swept by the fault-injection suite (space-separated, override
 # with `make test-robustness REPRO_FAULT_SEEDS="0 1 2 3 4 5"`).
@@ -50,6 +54,12 @@ test-analysis:
 test-recovery:
 	pytest tests/test_journal.py tests/test_recovery.py -m recovery -q
 
+# Sharded-vs-serial differential harness: machine-phase byte-identity
+# across shard counts/partitioners/schedulers, merge-cost invariants,
+# crash-resume (docs/sharding.md).
+test-sharded:
+	REPRO_TEST_SHARDS="$(REPRO_TEST_SHARDS)" pytest tests/test_sharded.py -m shard -q
+
 # Static invariant gate: determinism, layering, obs-schema,
 # cache-purity and exception hygiene over src/, modulo the committed
 # baseline (docs/static-analysis.md). Fails on any new finding.
@@ -94,6 +104,11 @@ bench-trajectory:
 # performance change (re-records smoke + ci), then commit the diff.
 bench-baseline:
 	PYTHONPATH=src python benchmarks/record_bench_baseline.py
+
+# Refresh only the scale-suite baseline (the sharded machine-phase
+# n=10k/100k/1M curve; minutes per repeat), then commit the diff.
+bench-scale:
+	PYTHONPATH=src python benchmarks/record_bench_baseline.py scale
 
 experiments:
 	python -m repro.experiments run all --scale ci

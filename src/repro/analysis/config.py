@@ -30,7 +30,10 @@ DEFAULT_LAYERS: Dict[str, FrozenSet[str]] = {
     # Durable-write primitives (atomic replace + fsync): pure stdlib
     # over the filesystem, importable from any persistence path.
     "io": frozenset({"exceptions"}),
-    "skyline": frozenset({"exceptions"}),
+    # skyline gained obs when the sharded machine phase started emitting
+    # shard.map/shard.merge spans and transfer counters; obs stays a
+    # leaf, so this cannot feed back into algorithm behaviour.
+    "skyline": frozenset({"exceptions", "obs"}),
     "data": frozenset({"exceptions"}),
     # obs additionally uses the durable-write helpers for its trace /
     # metrics exporters; io is itself a leaf over exceptions, so obs

@@ -93,6 +93,19 @@ class CrowdSkyConfig:
         ``REPRO_PREF_BACKEND`` environment variable. Both backends
         produce identical questions, rounds and skylines — the
         differential suite pins them together.
+    shards:
+        Shard count for the machine phase (``1`` = the serial path).
+        Any value yields byte-identical layers, dominating sets and
+        question order (docs/sharding.md); ``tests/test_sharded.py``
+        pins the equality.
+    shard_jobs:
+        Worker processes for the sharded machine phase; ``1`` computes
+        shards inline (still skipping the serial path's duplicate
+        dominance pass), ``> 1`` fans out over a
+        ``ProcessPoolExecutor``.
+    shard_partitioner:
+        ``'range'`` (contiguous blocks) or ``'hash'`` (seeded hash
+        assignment); see :data:`repro.skyline.sharded.PARTITIONERS`.
     """
 
     pruning: PruningLevel = PruningLevel.P1_P2_P3
@@ -101,6 +114,9 @@ class CrowdSkyConfig:
     probe_ascending: bool = False
     multiway: int = 2
     backend: Optional[str] = None
+    shards: int = 1
+    shard_jobs: int = 1
+    shard_partitioner: str = "range"
 
     def to_payload(self) -> dict:
         """JSON-able form, recorded in a run's journal header."""
@@ -111,11 +127,18 @@ class CrowdSkyConfig:
             "probe_ascending": self.probe_ascending,
             "multiway": self.multiway,
             "backend": self.backend,
+            "shards": self.shards,
+            "shard_jobs": self.shard_jobs,
+            "shard_partitioner": self.shard_partitioner,
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CrowdSkyConfig":
-        """Inverse of :meth:`to_payload` (the resume path)."""
+        """Inverse of :meth:`to_payload` (the resume path).
+
+        The shard fields default when absent so journals written before
+        the sharded machine phase existed still resume.
+        """
         return cls(
             pruning=PruningLevel(payload["pruning"]),
             policy=ContradictionPolicy(payload["policy"]),
@@ -123,6 +146,9 @@ class CrowdSkyConfig:
             probe_ascending=payload["probe_ascending"],
             multiway=payload["multiway"],
             backend=payload["backend"],
+            shards=payload.get("shards", 1),
+            shard_jobs=payload.get("shard_jobs", 1),
+            shard_partitioner=payload.get("shard_partitioner", "range"),
         )
 
 
@@ -176,6 +202,9 @@ def crowdsky(
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible,
             backend=config.backend,
+            shards=config.shards,
+            shard_jobs=config.shard_jobs,
+            shard_partitioner=config.shard_partitioner,
         )
         result = _run_serial(context, config)
     if span is not None:
@@ -236,6 +265,9 @@ def _run_budgeted(
             policy=config.policy,
             ac_round_robin=config.ac_round_robin,
             backend=config.backend,
+            shards=config.shards,
+            shard_jobs=config.shard_jobs,
+            shard_partitioner=config.shard_partitioner,
         )
     except BudgetExhaustedError:
         # Not even the degenerate-case preprocessing fit the budget. With

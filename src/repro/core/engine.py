@@ -34,9 +34,11 @@ from repro.obs.metrics import (
 from repro.skyline.dominating import (
     FrequencyOracle,
     dominating_sets,
+    dominating_sets_from_matrix,
     evaluation_order,
 )
 from repro.skyline.dominance import dominance_matrix
+from repro.skyline.sharded import PARTITIONERS, sharded_dominance_matrix
 
 
 @dataclass
@@ -173,6 +175,9 @@ def build_context(
     ac_round_robin: bool = False,
     visible_crowd: Optional[Iterable[int]] = None,
     backend: Optional[str] = None,
+    shards: int = 1,
+    shard_jobs: int = 1,
+    shard_partitioner: str = "range",
 ) -> ExecutionContext:
     """Prepare the machine-side structures and run the degenerate-case
     preprocessing (Algorithm 1 lines 1-3).
@@ -182,11 +187,25 @@ def build_context(
     mutual preferences are seeded into ``T`` for free. ``backend``
     selects the preference-closure implementation (``'bitset'`` |
     ``'reference'``; None = the ``REPRO_PREF_BACKEND`` default).
+
+    ``shards > 1`` computes the dominance matrix shard-by-shard
+    (optionally across ``shard_jobs`` worker processes) and reads the
+    dominating sets off it; both are bit-identical to the serial path,
+    so every downstream question is unchanged (docs/sharding.md).
     """
     if relation.schema.num_crowd < 1:
         raise CrowdSkyError(
             "crowd-enabled skyline needs at least one crowd attribute; "
             "use repro.skyline for machine-only skylines"
+        )
+    if shards < 1:
+        raise CrowdSkyError(f"shards must be >= 1, got {shards}")
+    if shard_jobs < 1:
+        raise CrowdSkyError(f"shard_jobs must be >= 1, got {shard_jobs}")
+    if shards > 1 and shard_partitioner not in PARTITIONERS:
+        raise CrowdSkyError(
+            f"unknown partitioner {shard_partitioner!r}; "
+            f"pick from {sorted(PARTITIONERS)}"
         )
     if crowd is None:
         crowd = SimulatedCrowd(relation)
@@ -215,11 +234,25 @@ def build_context(
 
         with spans.span("engine.dominance"):
             known = relation.known_matrix()
-            matrix = dominance_matrix(known)
+            if shards > 1:
+                matrix = sharded_dominance_matrix(
+                    known,
+                    shards=shards,
+                    partitioner=shard_partitioner,
+                    jobs=shard_jobs,
+                )
+            else:
+                matrix = dominance_matrix(known)
             frequency = FrequencyOracle(matrix)
 
         with spans.span("engine.dominating_sets"):
-            dominating = dominating_sets(known)
+            if shards > 1:
+                # The sharded path already holds the matrix; reading
+                # DS(t) off its columns skips the serial path's second
+                # quadratic pass and is equal by construction.
+                dominating = dominating_sets_from_matrix(matrix)
+            else:
+                dominating = dominating_sets(known)
             if removed:
                 dominating = [
                     {s for s in members if s not in removed}

@@ -129,6 +129,9 @@ def parallel_dset(
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible,
             backend=config.backend,
+            shards=config.shards,
+            shard_jobs=config.shard_jobs,
+            shard_partitioner=config.shard_partitioner,
         )
 
         skyline: Set[int] = set()
@@ -258,6 +261,9 @@ def parallel_sl(
             ac_round_robin=config.ac_round_robin,
             visible_crowd=visible,
             backend=config.backend,
+            shards=config.shards,
+            shard_jobs=config.shard_jobs,
+            shard_partitioner=config.shard_partitioner,
         )
 
         cover = covering_graph_from_matrix(context.matrix)

@@ -11,13 +11,19 @@ The committed reference records live in
 tolerance bands and an absolute noise floor, which is what the CI
 ``bench`` job gates on. See ``docs/profiling.md``.
 
-Three suites, sharing benchmark ids only where the workload is
+Four suites, sharing benchmark ids only where the workload is
 byte-identical (records are only comparable per id):
 
 * ``smoke`` — seconds; the CI gate and the default.
 * ``ci`` — the ISSUE-pinned trio (closure n=512, fig6a ci-scale
   cold/warm, crowdsky n=1000); tens of seconds per repeat.
 * ``paper`` — ``ci`` plus crowdsky n=10000; minutes.
+* ``scale`` — the sharded machine-phase curve (docs/sharding.md):
+  serial vs sharded skyline at n=10k/100k/1M, plus the legacy
+  quadratic kernel at n=10k as a reference point. The shipped-
+  candidate counts ride along as ``machine_shipped_n*`` pseudo-
+  benchmarks (deterministic counts, not seconds), so the committed
+  baseline also pins merge traffic at O(skyline).
 
 Workload determinism: every benchmark is seeded, so two runs on one
 machine time the *same* computation. The only wall-clock reads are the
@@ -29,12 +35,15 @@ see RA001).
 from __future__ import annotations
 
 import json
+import os
 import random
 import shutil
 import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.crowdsky import crowdsky
 from repro.core.preference import PreferenceGraph
@@ -44,6 +53,8 @@ from repro.exceptions import ExperimentError
 from repro.experiments.registry import run_experiment
 from repro.experiments.sweep import SweepCache
 from repro.io.atomic import atomic_write_text
+from repro.skyline.dominance import skyline_mask
+from repro.skyline.sharded import local_skyline_mask, sharded_skyline_mask
 from repro.obs.perf import (
     Regression,
     machine_fingerprint,
@@ -133,6 +144,63 @@ def _time_crowdsky(n: int) -> Dict[str, float]:
     return {"crowdsky_e2e_n%d" % n: time.perf_counter() - start}
 
 
+#: ``scale`` suite shape: shard count, worker processes (capped by the
+#: machine — the fingerprint's ``cpus`` field keeps records comparable),
+#: attribute count and the shipped-candidate ceiling.
+SCALE_SHARDS = 8
+SCALE_JOBS = max(1, min(SCALE_SHARDS, os.cpu_count() or 1))
+SCALE_DIMENSIONS = 4
+#: Merge traffic above this multiple of the skyline size fails the run
+#: outright — the communication-cost contract, enforced at bench time.
+SCALE_SHIPPED_FACTOR = 32
+
+
+def _scale_data(n: int, seed: int = 17) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, SCALE_DIMENSIONS))
+
+
+def _time_scale(n: int, matrix_kernel: bool = False) -> Dict[str, float]:
+    """Serial vs sharded machine-phase skyline at one ``n``.
+
+    Every repeat re-checks that the two masks are identical and that
+    ``tuples_shipped`` stays within :data:`SCALE_SHIPPED_FACTOR` of the
+    skyline size — a bench run that breaks the sharding contract fails
+    instead of silently recording a nonsense timing. The shipped count
+    is recorded as a ``machine_shipped_n*`` pseudo-benchmark
+    (a deterministic count in the ``median_s`` slot), pinning merge
+    traffic in the committed baseline.
+    """
+    data = _scale_data(n)
+    out: Dict[str, float] = {}
+    if matrix_kernel:
+        # The O(n^2) matrix kernel — only affordable at the small end;
+        # kept as the reference point the curve is measured against.
+        start = time.perf_counter()
+        skyline_mask(data)
+        out["machine_sky_matrix_n%d" % n] = time.perf_counter() - start
+    start = time.perf_counter()
+    serial_mask, _ = local_skyline_mask(data)
+    out["machine_sky_serial_n%d" % n] = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded_mask, stats = sharded_skyline_mask(
+        data, SCALE_SHARDS, "hash", jobs=SCALE_JOBS
+    )
+    out["machine_sky_sharded_n%d" % n] = time.perf_counter() - start
+    if not np.array_equal(serial_mask, sharded_mask):
+        raise ExperimentError(
+            f"sharded skyline diverged from serial at n={n}"
+        )
+    skyline_size = int(np.count_nonzero(serial_mask))
+    if stats.tuples_shipped > SCALE_SHIPPED_FACTOR * max(skyline_size, 1):
+        raise ExperimentError(
+            f"sharded merge shipped {stats.tuples_shipped} candidates "
+            f"for a skyline of {skyline_size} at n={n} — merge traffic "
+            f"is no longer O(skyline)"
+        )
+    out["machine_shipped_n%d" % n] = float(stats.tuples_shipped)
+    return out
+
+
 #: suite name -> ordered benchmark thunks, each returning {id: seconds}.
 SUITES: Dict[str, List[Callable[[], Dict[str, float]]]] = {
     "smoke": [
@@ -150,6 +218,11 @@ SUITES: Dict[str, List[Callable[[], Dict[str, float]]]] = {
         lambda: _time_fig6a("ci"),
         lambda: _time_crowdsky(1000),
         lambda: _time_crowdsky(10000),
+    ],
+    "scale": [
+        lambda: _time_scale(10_000, matrix_kernel=True),
+        lambda: _time_scale(100_000),
+        lambda: _time_scale(1_000_000),
     ],
 }
 

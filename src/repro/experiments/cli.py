@@ -493,9 +493,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("smoke", "ci", "paper"),
+        choices=("smoke", "ci", "paper", "scale"),
         default="smoke",
-        help="benchmark suite (default: smoke)",
+        help=(
+            "benchmark suite (default: smoke; scale = the sharded "
+            "machine-phase n=10k/100k/1M curve, docs/sharding.md)"
+        ),
     )
     bench.add_argument(
         "--repeats",

@@ -77,6 +77,12 @@ JOURNAL_FSYNC_SECONDS = "crowdsky_journal_fsync_seconds"
 #: Seconds spent in one sweep-cache lookup or store (histogram),
 #: labelled by ``status`` (hit / miss / corrupt / store).
 SWEEP_CACHE_LOOKUP_SECONDS = "crowdsky_sweep_cache_lookup_seconds"
+#: Candidate tuples shipped from shards to the merge coordinator by the
+#: sharded machine phase (stays near the skyline size, not ``n``).
+SHARD_TUPLES_SHIPPED = "crowdsky_shard_tuples_shipped_total"
+#: Candidate pairs evaluated by the sharded machine phase, labelled by
+#: ``stage`` (local / merge).
+SHARD_DOMINANCE_CHECKS = "crowdsky_shard_dominance_checks_total"
 
 #: Bucket upper bounds for :data:`ROUND_SIZE`.
 ROUND_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
@@ -117,6 +123,10 @@ DEFAULT_HELP: Dict[str, str] = {
     JOURNAL_FSYNC_SECONDS: "Seconds spent in one journal flush+fsync",
     SWEEP_CACHE_LOOKUP_SECONDS:
         "Seconds spent in one sweep-cache lookup or store, by status",
+    SHARD_TUPLES_SHIPPED:
+        "Candidate tuples shipped from shards to the merge coordinator",
+    SHARD_DOMINANCE_CHECKS:
+        "Candidate pairs evaluated by the sharded machine phase, by stage",
 }
 
 _LabelKey = Tuple[Tuple[str, str], ...]

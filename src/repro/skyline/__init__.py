@@ -12,7 +12,10 @@ the full matrix when computing ground truth):
   incomparability sharing (BSkyTree-style, the paper's [10]),
 * :mod:`repro.skyline.layers` — skyline layers + covering graph (§4.2),
 * :mod:`repro.skyline.dominating` — dominating sets ``DS(t)`` and pair
-  frequency ``freq(u, v)`` (§3.1, §3.4).
+  frequency ``freq(u, v)`` (§3.1, §3.4),
+* :mod:`repro.skyline.sharded` — deterministic shard partitioners,
+  per-shard local skylines with a communication-cost-aware merge, and
+  the row-sharded dominance matrix (docs/sharding.md).
 """
 
 from repro.skyline.bnl import bnl_skyline
@@ -27,15 +30,26 @@ from repro.skyline.dominance import (
 )
 from repro.skyline.dominating import (
     dominating_sets,
+    dominating_sets_from_matrix,
     evaluation_order,
     pair_frequency,
     pair_frequency_table,
 )
 from repro.skyline.layers import covering_graph, skyline_layers
 from repro.skyline.sfs import sfs_skyline
+from repro.skyline.sharded import (
+    ShardPlan,
+    ShardStats,
+    local_skyline_mask,
+    make_plan,
+    sharded_dominance_matrix,
+    sharded_skyline_mask,
+)
 
 __all__ = [
     "DominanceRelation",
+    "ShardPlan",
+    "ShardStats",
     "bnl_skyline",
     "bskytree_skyline",
     "compare",
@@ -44,10 +58,15 @@ __all__ = [
     "dominance_matrix",
     "dominates",
     "dominating_sets",
+    "dominating_sets_from_matrix",
     "evaluation_order",
     "incomparable",
+    "local_skyline_mask",
+    "make_plan",
     "pair_frequency",
     "pair_frequency_table",
     "sfs_skyline",
+    "sharded_dominance_matrix",
+    "sharded_skyline_mask",
     "skyline_layers",
 ]

@@ -72,12 +72,24 @@ def dominance_matrix(data: np.ndarray, chunk_size: int = 512) -> np.ndarray:
     data = np.asarray(data, dtype=float)
     n = data.shape[0]
     result = np.zeros((n, n), dtype=bool)
+    if n == 0:
+        return result
+    # Comparison buffers are hoisted out of the chunk loop and reused
+    # (ufunc ``out=``) — re-allocating the (b, n, d) broadcast temp per
+    # pass dominated the layer-computation profile.
+    b = min(chunk_size, n)
+    cmp = np.empty((b, n, data.shape[1]), dtype=bool)
+    le = np.empty((b, n), dtype=bool)
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
+        size = stop - start
         block = data[start:stop, None, :]  # (b, 1, d)
-        le = np.all(block <= data[None, :, :], axis=2)
-        lt = np.any(block < data[None, :, :], axis=2)
-        result[start:stop] = le & lt
+        np.less_equal(block, data[None, :, :], out=cmp[:size])
+        cmp[:size].all(axis=2, out=le[:size])
+        np.less(block, data[None, :, :], out=cmp[:size])
+        cmp[:size].any(axis=2, out=result[start:stop])
+        np.logical_and(le[:size], result[start:stop],
+                       out=result[start:stop])
     return result
 
 
@@ -90,10 +102,21 @@ def skyline_mask(data: np.ndarray, chunk_size: int = 512) -> np.ndarray:
     data = np.asarray(data, dtype=float)
     n = data.shape[0]
     dominated = np.zeros(n, dtype=bool)
+    if n == 0:
+        return ~dominated
+    # Same hoisted-buffer scheme as :func:`dominance_matrix`.
+    b = min(chunk_size, n)
+    cmp = np.empty((b, n, data.shape[1]), dtype=bool)
+    le = np.empty((b, n), dtype=bool)
+    lt = np.empty((b, n), dtype=bool)
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
+        size = stop - start
         block = data[start:stop, None, :]
-        le = np.all(block <= data[None, :, :], axis=2)
-        lt = np.any(block < data[None, :, :], axis=2)
-        dominated |= np.any(le & lt, axis=0)
+        np.less_equal(block, data[None, :, :], out=cmp[:size])
+        cmp[:size].all(axis=2, out=le[:size])
+        np.less(block, data[None, :, :], out=cmp[:size])
+        cmp[:size].any(axis=2, out=lt[:size])
+        np.logical_and(le[:size], lt[:size], out=lt[:size])
+        dominated |= lt[:size].any(axis=0)
     return ~dominated

@@ -23,6 +23,16 @@ from repro.skyline.dominance import dominance_matrix
 def dominating_sets(data: np.ndarray) -> List[Set[int]]:
     """``DS(t)`` for every row ``t`` of ``data`` (smaller preferred)."""
     matrix = dominance_matrix(np.asarray(data, dtype=float))
+    return dominating_sets_from_matrix(matrix)
+
+
+def dominating_sets_from_matrix(matrix: np.ndarray) -> List[Set[int]]:
+    """``DS(t)`` read off a precomputed dominance matrix.
+
+    Lets callers that already hold the matrix (the sharded machine
+    phase, :func:`repro.core.engine.build_context`) derive the sets
+    without a second quadratic pass over the data.
+    """
     return [set(int(s) for s in np.flatnonzero(matrix[:, t]))
             for t in range(matrix.shape[0])]
 

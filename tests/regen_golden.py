@@ -15,9 +15,11 @@ generation time, so a broken backend cannot be baked into the fixture.
 from __future__ import annotations
 
 import json
+from math import ceil
 from pathlib import Path
 
 from repro.core import CrowdSkyConfig, crowdsky, parallel_dset, parallel_sl
+from repro.crowd.platform import QUESTIONS_PER_HIT
 from repro.data.synthetic import Distribution, generate_synthetic
 from repro.data.toy import figure1_dataset
 
@@ -30,6 +32,10 @@ SCHEDULERS = {
     "parallel_dset": parallel_dset,
     "parallel_sl": parallel_sl,
 }
+
+#: Shard count pinned alongside the serial counts (``@shards4`` keys).
+#: The hash partitioner is the interesting one — non-contiguous shards.
+GOLDEN_SHARDS = 4
 
 
 def datasets():
@@ -51,13 +57,25 @@ def datasets():
     }
 
 
-def run_case(relation, scheduler_name: str, backend: str) -> dict:
+def run_case(
+    relation, scheduler_name: str, backend: str, shards: int = 1
+) -> dict:
     result = SCHEDULERS[scheduler_name](
-        relation, config=CrowdSkyConfig(backend=backend)
+        relation,
+        config=CrowdSkyConfig(
+            backend=backend,
+            shards=shards,
+            shard_partitioner="hash" if shards > 1 else "range",
+        ),
     )
     return {
         "questions": result.stats.questions,
         "rounds": result.stats.rounds,
+        "hits": sum(
+            ceil(size / QUESTIONS_PER_HIT)
+            for size in result.stats.round_sizes
+            if size
+        ),
         "skyline": sorted(result.skyline),
         "rejected_answers": result.rejected_answers,
     }
@@ -77,6 +95,25 @@ def build_golden() -> dict:
                     f"{dataset_name}/{scheduler_name}: {per_backend}"
                 )
             golden[f"{dataset_name}/{scheduler_name}"] = per_backend
+            # Sharded machine phase: pinned with its own keys, and
+            # asserted equal to the serial counts at generation time so
+            # shard divergence can never be baked into the fixture.
+            sharded = {
+                backend: run_case(
+                    relation, scheduler_name, backend,
+                    shards=GOLDEN_SHARDS,
+                )
+                for backend in BACKENDS
+            }
+            if sharded != per_backend:
+                raise SystemExit(
+                    f"sharded drift while regenerating golden counts: "
+                    f"{dataset_name}/{scheduler_name}: {sharded} != "
+                    f"{per_backend}"
+                )
+            golden[
+                f"{dataset_name}/{scheduler_name}@shards{GOLDEN_SHARDS}"
+            ] = sharded
     return golden
 
 

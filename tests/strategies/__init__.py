@@ -20,15 +20,23 @@ from tests.strategies.preferences import (
     consistent_answer_sequences,
     small_relations,
 )
+from tests.strategies.relations import (
+    KINDS,
+    crowd_relations,
+    known_matrices,
+)
 from tests.strategies.settings import DIFFERENTIAL_SETTINGS, ROBUSTNESS_SETTINGS
 
 __all__ = [
     "DIFFERENTIAL_SETTINGS",
+    "KINDS",
     "ROBUSTNESS_SETTINGS",
     "answer_events",
     "answer_sequences",
     "consistent_answer_sequences",
+    "crowd_relations",
     "fault_plans",
+    "known_matrices",
     "lossy_fault_plans",
     "module_names",
     "python_modules",

@@ -14,6 +14,7 @@ from repro.skyline.dominance import (
     incomparable,
     skyline_mask,
 )
+from tests.strategies import known_matrices
 
 matrices = arrays(
     dtype=float,
@@ -106,3 +107,35 @@ class TestSkylineMask:
         data = np.asarray([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
         mask = skyline_mask(data)
         assert mask[0] and mask[1] and not mask[2]
+
+
+class TestGeneratedRelations:
+    """Properties over the shared relation-shape strategy
+    (``tests/strategies/relations.py``): correlated, anticorrelated and
+    duplicate-heavy grids with dense ties, the shapes the ``matrices``
+    float strategy almost never hits."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(known_matrices())
+    def test_mask_matches_matrix_on_distribution_shapes(self, data):
+        mask = skyline_mask(data)
+        matrix = dominance_matrix(data)
+        assert np.array_equal(mask, ~matrix.any(axis=0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(known_matrices())
+    def test_duplicate_rows_share_skyline_membership(self, data):
+        mask = skyline_mask(data)
+        n = data.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if np.all(data[i] == data[j]):
+                    assert mask[i] == mask[j]
+
+    @settings(max_examples=40, deadline=None)
+    @given(known_matrices(kinds=("duplicate_heavy",), max_rows=20))
+    def test_chunked_matrix_stable_on_duplicate_heavy(self, data):
+        assert np.array_equal(
+            dominance_matrix(data, chunk_size=3),
+            dominance_matrix(data, chunk_size=512),
+        )
