@@ -72,7 +72,7 @@ def test_frequency_matrix(benchmark, data):
     assert table.shape == (len(members), len(members))
 
 
-@pytest.mark.parametrize("backend", ["reference", "bitset"])
+@pytest.mark.parametrize("backend", ["reference", "bitset", "numpy"])
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_closure_workload(benchmark, workload, backend):
     """Replay one closure workload (n=512) against one backend.

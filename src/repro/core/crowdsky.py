@@ -87,11 +87,12 @@ class CrowdSkyConfig:
         once (the §2.1 extension; effective with ``|AC| = 1``). The
         default 2 keeps the paper's pairwise format.
     backend:
-        Preference-closure backend: ``'bitset'`` (incremental bitset
-        closure, the fast default) or ``'reference'`` (the original
-        set-based implementation). None defers to the
-        ``REPRO_PREF_BACKEND`` environment variable. Both backends
-        produce identical questions, rounds and skylines — the
+        Preference-closure backend: ``'numpy'`` (packed uint64 closure
+        matrices with bulk query kernels, the fast default),
+        ``'bitset'`` (incremental Python-int bitset closure) or
+        ``'reference'`` (the original set-based implementation). None
+        defers to the ``REPRO_PREF_BACKEND`` environment variable. All
+        backends produce identical questions, rounds and skylines — the
         differential suite pins them together.
     shards:
         Shard count for the machine phase (``1`` = the serial path).
@@ -342,11 +343,13 @@ def _run_budgeted(
     # Default-skyline finalization for undecided tuples: keep them unless
     # a dominating-set member already dominates them in current knowledge
     # (any member counts — even a non-skyline one dominates t in A).
-    # All candidate pairs are settled against the closure in one batch.
+    # All candidate pairs are settled against the closure in one batch;
+    # the undecided set is sorted once and reused (it is fixed here).
+    undecided_order = sorted(undecided)
     finalize = context.prefs.resolve_pairs(
-        (s, t) for t in sorted(undecided) for s in context.dominating[t]
+        (s, t) for t in undecided_order for s in context.dominating[t]
     )
-    for t in sorted(undecided):
+    for t in undecided_order:
         dominated = any(
             all(
                 rel is not None and rel is not Preference.RIGHT

@@ -219,6 +219,9 @@ def build_context(
         prefs = PreferenceSystem(
             n, relation.schema.num_crowd, policy, backend=backend
         )
+        # Route the closure-transaction histogram into the same per-run
+        # registry as every other crowd metric.
+        prefs.attach_metrics(crowd.metrics)
         if visible_crowd is not None:
             edges = seed_visible_preferences(prefs, relation, visible_crowd)
             if tracer is not None:
@@ -281,11 +284,15 @@ def apply_answers(
     prefs: PreferenceSystem,
     answers: Dict[PairwiseQuestion, Preference],
 ) -> None:
-    """Fold aggregated round answers into the preference system."""
-    for question, answer in answers.items():
-        prefs.add_answer(
-            question.left, question.right, question.attribute, answer
-        )
+    """Fold aggregated round answers into the preference system as one
+    closure transaction (order preserved — acceptance under KEEP_FIRST
+    is order-sensitive)."""
+    prefs.apply_verdicts(
+        [
+            (question.left, question.right, question.attribute, answer)
+            for question, answer in answers.items()
+        ]
+    )
 
 
 def _request_decided(
@@ -398,13 +405,16 @@ def apply_multiway_answers(
     """Fold m-ary winners into the preference system.
 
     The chosen candidate is preferred over every other candidate of its
-    question — ``k − 1`` strict edges per answer."""
-    for question, winner in answers.items():
-        for candidate in question.candidates:
-            if candidate != winner:
-                prefs.add_answer(
-                    winner, candidate, question.attribute, Preference.LEFT
-                )
+    question — ``k − 1`` strict edges per answer, committed as one
+    closure transaction in the original expansion order."""
+    prefs.apply_verdicts(
+        [
+            (winner, candidate, question.attribute, Preference.LEFT)
+            for question, winner in answers.items()
+            for candidate in question.candidates
+            if candidate != winner
+        ]
+    )
 
 
 def ask_pair(

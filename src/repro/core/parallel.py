@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple as TupleT
 
+import numpy as np
+
 from repro.core.crowdsky import CrowdSkyConfig
 from repro.core.engine import (
     ExecutionContext,
@@ -42,7 +44,7 @@ from repro.crowd.platform import SimulatedCrowd
 from repro.data.relation import Relation
 from repro.exceptions import CrowdSkyError
 from repro.obs import phase, run_span
-from repro.skyline.dominating import bitset_of, dominating_bitsets
+from repro.skyline.dominating import packed_bitset_rows
 from repro.skyline.layers import covering_graph_from_matrix
 
 
@@ -176,24 +178,35 @@ def _disjoint_batches(
     """First-fit partition of a group into batches whose (pruned)
     dominating sets are pairwise disjoint — the (C2) independence check.
 
-    Dominating sets are packed into int bitsets so each disjointness
-    test is one word-parallel AND instead of a set intersection."""
-    ds_bits = dominating_bitsets([context.dominating[t] for t in members])
-    pruned_mask = ~bitset_of(complete_non_skyline)
+    Dominating sets are packed into rows of a uint64 matrix so a
+    member's disjointness test against every open batch is one
+    vectorized AND + ``any`` over the union rows instead of a Python
+    loop. First-fit order (and therefore the batch composition and every
+    downstream question) is identical to the scalar implementation."""
+    n = context.n
+    ds_rows = packed_bitset_rows(
+        [context.dominating[t] for t in members], n
+    )
+    if complete_non_skyline:
+        ds_rows &= ~packed_bitset_rows([complete_non_skyline], n)[0]
     batches: List[List[int]] = []
-    unions: List[int] = []
-    for t, ds in zip(members, ds_bits):
-        ds &= pruned_mask
-        placed = False
-        for index, union in enumerate(unions):
-            if not (ds & union):
-                batches[index].append(t)
-                unions[index] = union | ds
-                placed = True
-                break
-        if not placed:
+    unions = np.zeros_like(ds_rows)
+    open_batches = 0
+    for index, t in enumerate(members):
+        ds = ds_rows[index]
+        placed = -1
+        if open_batches:
+            conflict = (unions[:open_batches] & ds).any(axis=1)
+            free = np.nonzero(~conflict)[0]
+            if free.size:
+                placed = int(free[0])
+        if placed >= 0:
+            batches[placed].append(t)
+            unions[placed] |= ds
+        else:
             batches.append([t])
-            unions.append(ds)
+            unions[open_batches] = ds
+            open_batches += 1
     return batches
 
 

@@ -13,7 +13,7 @@ cycle. The paper does not discuss this case; the default
 the newcomer (first-arrival wins), and :attr:`ContradictionPolicy.RAISE`
 turns contradictions into errors for the perfect-crowd setting.
 
-Two interchangeable backends implement the graph:
+Three interchangeable backends implement the graph:
 
 * :class:`ReferencePreferenceGraph` — the original per-node
   ``Dict[int, Set[int]]`` adjacency with memoized DFS reachability.
@@ -23,20 +23,30 @@ Two interchangeable backends implement the graph:
   (one machine word per 64 tuples) with **incremental** transitive
   closure maintenance on every edge insert and tie merge. Queries are
   O(1) bit tests; updates touch only ancestors/descendants of the
-  mutated classes. This is the default production backend.
+  mutated classes.
+* :class:`NumpyPreferenceGraph` — the same incremental closure with the
+  per-class bitsets packed into ``(n, ceil(n/64))`` uint64 matrices, so
+  an edge insert is one masked ``|=`` broadcast over every affected
+  class row and tie merges are row ORs plus row retirement. It adds the
+  bulk query kernels (:meth:`~NumpyPreferenceGraph.relations_batch`,
+  :meth:`~NumpyPreferenceGraph.reachable_pairs`,
+  :meth:`~NumpyPreferenceGraph.undominated_mask`) that answer whole
+  arrays of pair queries in one shot — the default production backend.
 
 Select the backend with the ``backend=`` constructor flag of
 :func:`PreferenceGraph` / :class:`PreferenceSystem`, or globally with
-the ``REPRO_PREF_BACKEND`` environment variable (``bitset`` |
-``reference``). The differential suite
-(``tests/test_preference_differential.py``) pins the two backends to
+the ``REPRO_PREF_BACKEND`` environment variable (``numpy`` | ``bitset``
+| ``reference``). The differential suite
+(``tests/test_preference_differential.py``) pins the three backends to
 bit-for-bit identical observable state.
 
 :class:`PreferenceSystem` bundles ``|AC|`` graphs and provides the
 AC-level dominance tests used by the pruning rules (Corollaries 1-2,
-Lemma 4), now memoized per pair and exposed batch-wise through
+Lemma 4), memoized per pair and exposed batch-wise through
 :meth:`PreferenceSystem.resolve_pairs` so schedulers can settle a whole
-candidate round in one closure pass.
+candidate round in one closure pass. Round commits go through
+:meth:`PreferenceSystem.apply_verdicts` — one *closure transaction* per
+crowd round instead of one closure touch per answer.
 """
 
 from __future__ import annotations
@@ -45,26 +55,33 @@ import enum
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.crowd.questions import Preference
 from repro.exceptions import CrowdSkyError, PreferenceConflictError
 from repro.obs import current_observation
+from repro.obs.metrics import CLOSURE_BATCH_SIZE
 
 #: Environment variable selecting the default preference backend.
 BACKEND_ENV_VAR = "REPRO_PREF_BACKEND"
 
 #: Recognised backend names.
+BACKEND_NUMPY = "numpy"
 BACKEND_BITSET = "bitset"
 BACKEND_REFERENCE = "reference"
+
+#: All recognised backend names, fastest first.
+BACKEND_NAMES = (BACKEND_NUMPY, BACKEND_BITSET, BACKEND_REFERENCE)
 
 
 def default_backend() -> str:
     """The backend name selected by ``REPRO_PREF_BACKEND`` (default
-    ``bitset``)."""
-    name = os.environ.get(BACKEND_ENV_VAR, BACKEND_BITSET).strip().lower()
-    if name not in (BACKEND_BITSET, BACKEND_REFERENCE):
+    ``numpy``)."""
+    name = os.environ.get(BACKEND_ENV_VAR, BACKEND_NUMPY).strip().lower()
+    if name not in BACKEND_NAMES:
         raise CrowdSkyError(
             f"unknown preference backend {name!r} in ${BACKEND_ENV_VAR}; "
-            f"expected '{BACKEND_BITSET}' or '{BACKEND_REFERENCE}'"
+            f"expected one of {', '.join(repr(b) for b in BACKEND_NAMES)}"
         )
     return name
 
@@ -410,8 +427,177 @@ class BitsetPreferenceGraph(_BasePreferenceGraph):
         return None
 
 
+class NumpyPreferenceGraph(_BasePreferenceGraph):
+    """Packed-bit closure: one uint64 matrix row per tie class.
+
+    The per-class bitsets of :class:`BitsetPreferenceGraph` become rows
+    of three ``(n, ceil(n/64))`` uint64 matrices — ``_cls`` (class
+    members), ``_desc`` (tuples strictly below) and ``_anc`` (tuples
+    strictly above); row ``r`` is meaningful only while ``r`` is a class
+    representative. The incremental Italiano-style update is then a
+    masked broadcast: an edge insert ORs ``below(dst)`` into the rows of
+    every representative above ``src`` (and symmetrically for
+    ancestors) in one vectorized ``|=``, and a tie merge is two row ORs
+    plus retirement of the dropped row.
+
+    Beyond the scalar API the backend exposes bulk kernels —
+    :meth:`relations_batch`, :meth:`reachable_pairs` and
+    :meth:`undominated_mask` — which gather closure bits for whole
+    arrays of pairs in one shot; :class:`PreferenceSystem` routes
+    ``resolve_pairs`` and ``sky_ac`` through them.
+
+    The closure-update accounting mirrors the bitset backend exactly
+    (one update per representative row swept), so the deterministic
+    pseudo-benchmarks pin both to the same counts.
+    """
+
+    backend = BACKEND_NUMPY
+
+    def __init__(
+        self,
+        n: int,
+        policy: ContradictionPolicy = ContradictionPolicy.KEEP_FIRST,
+    ):
+        super().__init__(n, policy)
+        self._words = words = max(1, (n + 63) >> 6)
+        self._desc = np.zeros((n, words), dtype=np.uint64)
+        self._anc = np.zeros((n, words), dtype=np.uint64)
+        self._cls = np.zeros((n, words), dtype=np.uint64)
+        if n:
+            idx = np.arange(n, dtype=np.int64)
+            self._cls[idx, idx >> 6] = np.uint64(1) << (
+                idx & 63
+            ).astype(np.uint64)
+        # Row r is live (a class representative) iff _is_rep[r].
+        self._is_rep = np.ones(n, dtype=bool)
+
+    # -- row helpers -----------------------------------------------------
+
+    def _rep_rows(self, row: np.ndarray) -> np.ndarray:
+        """Indices of set bits in a packed row that are live
+        representatives (the rows an update must sweep)."""
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+        hits = bits[: self._n].view(np.bool_) & self._is_rep
+        return np.nonzero(hits)[0]
+
+    def _broadcast(
+        self,
+        above: np.ndarray,
+        below: np.ndarray,
+        gain_below: np.ndarray,
+        gain_above: np.ndarray,
+    ) -> None:
+        """OR ``gain_below`` into every representative row above and
+        ``gain_above`` into every one below — the whole incremental
+        closure sweep as two masked broadcasts."""
+        up = self._rep_rows(above)
+        down = self._rep_rows(below)
+        if up.size:
+            self._desc[up] |= gain_below
+        if down.size:
+            self._anc[down] |= gain_above
+        # Same accounting as the bitset backend: one closure entry per
+        # representative row swept.
+        self.closure_updates += int(up.size) + int(down.size)
+
+    # -- closure hooks ---------------------------------------------------
+
+    def _reaches(self, source: int, target: int) -> bool:
+        if target < 0:
+            return False
+        return bool(
+            int(self._desc[source, target >> 6]) >> (target & 63) & 1
+        )
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        below = self._desc[dst] | self._cls[dst]
+        above = self._anc[src] | self._cls[src]
+        self._broadcast(above, below, below, above)
+
+    def _merge_closure(self, keep: int, drop: int) -> None:
+        members = self._cls[keep] | self._cls[drop]
+        below = self._desc[keep] | self._desc[drop]
+        above = self._anc[keep] | self._anc[drop]
+        self._cls[keep] = members
+        self._desc[keep] = below
+        self._anc[keep] = above
+        self._cls[drop] = 0
+        self._desc[drop] = 0
+        self._anc[drop] = 0
+        self._is_rep[drop] = False
+        self._broadcast(above, below, below | members, above | members)
+
+    # -- fast scalar queries ---------------------------------------------
+
+    def relation(self, u: int, v: int) -> Optional[Preference]:
+        ru = self._find(u)
+        if ru == self._find(v):
+            return Preference.EQUAL
+        word, bit = v >> 6, v & 63
+        if int(self._desc[ru, word]) >> bit & 1:
+            return Preference.LEFT
+        if int(self._anc[ru, word]) >> bit & 1:
+            return Preference.RIGHT
+        return None
+
+    # -- bulk query kernels ----------------------------------------------
+
+    def find_roots(self, nodes: Sequence[int]) -> np.ndarray:
+        """Class representatives of an array of tuple indices."""
+        find = self._find
+        return np.fromiter(
+            (find(int(x)) for x in nodes), dtype=np.int64, count=len(nodes)
+        )
+
+    def relations_batch(
+        self, us: Sequence[int], vs: Sequence[int]
+    ) -> np.ndarray:
+        """Relation codes for aligned pair arrays in one gather.
+
+        Returns an int8 array: 0 = unknown, 1 = LEFT (``u`` preferred),
+        2 = RIGHT, 3 = EQUAL — see :data:`RELATION_CODES`.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        ru = self.find_roots(us)
+        rv = self.find_roots(vs)
+        cols = vs >> 6
+        shifts = (vs & 63).astype(np.uint64)
+        one = np.uint64(1)
+        left = (self._desc[ru, cols] >> shifts) & one
+        right = (self._anc[ru, cols] >> shifts) & one
+        codes = np.zeros(len(us), dtype=np.int8)
+        codes[left != 0] = 1
+        codes[right != 0] = 2
+        codes[ru == rv] = 3
+        return codes
+
+    def reachable_pairs(
+        self, us: Sequence[int], vs: Sequence[int]
+    ) -> np.ndarray:
+        """``u ≺ v`` (strict preference derivable) per aligned pair —
+        one closure-bit gather for the whole array."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        ru = self.find_roots(us)
+        bits = (
+            self._desc[ru, vs >> 6] >> (vs & 63).astype(np.uint64)
+        ) & np.uint64(1)
+        return bits != 0
+
+    def undominated_mask(self) -> np.ndarray:
+        """Boolean mask over all tuples: True iff nothing is known to be
+        strictly preferred over the tuple's class."""
+        if not self._n:
+            return np.zeros(0, dtype=bool)
+        roots = self.find_roots(np.arange(self._n, dtype=np.int64))
+        has_ancestor = self._anc.any(axis=1)
+        return ~has_ancestor[roots]
+
+
 #: Backend name → graph class.
 GRAPH_BACKENDS = {
+    BACKEND_NUMPY: NumpyPreferenceGraph,
     BACKEND_BITSET: BitsetPreferenceGraph,
     BACKEND_REFERENCE: ReferencePreferenceGraph,
 }
@@ -424,24 +610,41 @@ def PreferenceGraph(
 ):
     """Build a preference graph with the selected backend.
 
-    ``backend`` is ``'bitset'`` or ``'reference'``; None falls back to
-    the ``REPRO_PREF_BACKEND`` environment variable, then ``'bitset'``.
-    (Factory function — kept callable like the historical class so
-    existing ``PreferenceGraph(n)`` call sites are unaffected.)
+    ``backend`` is ``'numpy'``, ``'bitset'`` or ``'reference'``; None
+    falls back to the ``REPRO_PREF_BACKEND`` environment variable, then
+    ``'numpy'``. (Factory function — kept callable like the historical
+    class so existing ``PreferenceGraph(n)`` call sites are unaffected.)
     """
     name = backend if backend is not None else default_backend()
     try:
         cls = GRAPH_BACKENDS[name]
     except KeyError:
         raise CrowdSkyError(
-            f"unknown preference backend {name!r}; expected "
-            f"'{BACKEND_BITSET}' or '{BACKEND_REFERENCE}'"
+            f"unknown preference backend {name!r}; expected one of "
+            f"{', '.join(repr(b) for b in BACKEND_NAMES)}"
         ) from None
     return cls(n, policy)
 
 
 #: A pair's derivable relation on every crowd attribute (None = unknown).
 PairRelations = Tuple[Optional[Preference], ...]
+
+#: One aggregated crowd verdict: ``(left, right, attribute, answer)``.
+Verdict = Tuple[int, int, int, Preference]
+
+#: :meth:`NumpyPreferenceGraph.relations_batch` code → relation.
+RELATION_CODES: Tuple[Optional[Preference], ...] = (
+    None, Preference.LEFT, Preference.RIGHT, Preference.EQUAL
+)
+
+#: Orientation flip as a dict lookup — the memo fill path calls this
+#: once per attribute per miss, where a method call measurably shows up.
+_FLIPPED: Dict[Optional[Preference], Optional[Preference]] = {
+    None: None,
+    Preference.LEFT: Preference.RIGHT,
+    Preference.RIGHT: Preference.LEFT,
+    Preference.EQUAL: Preference.EQUAL,
+}
 
 
 class PreferenceSystem:
@@ -480,6 +683,16 @@ class PreferenceSystem:
         #: ``crowdsky_pref_cache_hits_total`` observability counter.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Optional run-local metrics registry (the crowd's); receives
+        #: the ``crowdsky_closure_batch_size`` histogram alongside the
+        #: globally installed observation.
+        self._run_metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Attach the run-local metrics registry (the crowd platform's)
+        so verdict transactions record their batch-size histogram into
+        the same per-run registry as every other crowd metric."""
+        self._run_metrics = registry
 
     @property
     def num_attributes(self) -> int:
@@ -506,9 +719,7 @@ class PreferenceSystem:
         self.cache_misses += 1
         rels = tuple(graph.relation(u, v) for graph in self.graphs)
         self._memo[key] = rels
-        self._memo[(v, u)] = tuple(
-            rel.flipped() if rel is not None else None for rel in rels
-        )
+        self._memo[(v, u)] = tuple(_FLIPPED[rel] for rel in rels)
         return rels
 
     def resolve_pairs(
@@ -518,8 +729,15 @@ class PreferenceSystem:
 
         Returns ``{(u, v): per-attribute relations}`` for every distinct
         input pair. Schedulers use this to test a whole candidate round
-        (batch building, budget finalization) against the closure at
-        once instead of re-querying pair by pair. Under an active trace
+        (batch building, probe ladders, budget finalization) against the
+        closure at once instead of re-querying pair by pair.
+
+        Duplicate and symmetric pairs are collapsed before the closure
+        is touched: memo-served pairs never reach the backend, and of an
+        ``(u, v)`` / ``(v, u)`` twin only one orientation is computed
+        (the other is its flip). Under the numpy backend the remaining
+        misses resolve through one :meth:`~NumpyPreferenceGraph.
+        relations_batch` gather per attribute. Under an active trace
         each pass is one ``pref.resolve`` span, so the profiler can set
         closure time against crowd time.
         """
@@ -529,14 +747,124 @@ class PreferenceSystem:
             with observation.tracer.span(
                 "pref.resolve", pairs=len(unique), backend=self.backend
             ):
-                return {
-                    pair: self.pair_relations(pair[0], pair[1])
-                    for pair in unique
-                }
-        return {
-            pair: self.pair_relations(pair[0], pair[1])
-            for pair in unique
-        }
+                return self._resolve_unique(unique)
+        return self._resolve_unique(unique)
+
+    def _resolve_unique(
+        self, unique: Dict[Tuple[int, int], None]
+    ) -> Dict[Tuple[int, int], PairRelations]:
+        version = self._current_version()
+        if version != self._memo_version:
+            self._memo.clear()
+            self._memo_version = version
+        memo = self._memo
+        out: Dict[Tuple[int, int], PairRelations] = {}
+        missing: List[Tuple[int, int]] = []
+        for pair in unique:
+            rels = memo.get(pair)
+            if rels is not None:
+                out[pair] = rels
+            else:
+                missing.append(pair)
+        self.cache_hits += len(out)
+        if not missing:
+            return out
+        # Canonicalize symmetric twins: each unordered pair hits the
+        # closure once; the reverse orientation is a memo flip.
+        canonical: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for u, v in missing:
+            key = (u, v) if u <= v else (v, u)
+            if key not in seen:
+                seen.add(key)
+                canonical.append(key)
+        self.cache_misses += len(canonical)
+        self.cache_hits += len(missing) - len(canonical)
+        if isinstance(self.graphs[0], NumpyPreferenceGraph):
+            us = np.fromiter(
+                (p[0] for p in canonical), dtype=np.int64,
+                count=len(canonical),
+            )
+            vs = np.fromiter(
+                (p[1] for p in canonical), dtype=np.int64,
+                count=len(canonical),
+            )
+            per_attr = [
+                graph.relations_batch(us, vs) for graph in self.graphs
+            ]
+            for index, key in enumerate(canonical):
+                rels = tuple(
+                    RELATION_CODES[codes[index]] for codes in per_attr
+                )
+                memo[key] = rels
+                memo[(key[1], key[0])] = tuple(
+                    _FLIPPED[rel] for rel in rels
+                )
+        else:
+            for key in canonical:
+                rels = tuple(
+                    graph.relation(key[0], key[1]) for graph in self.graphs
+                )
+                memo[key] = rels
+                memo[(key[1], key[0])] = tuple(
+                    _FLIPPED[rel] for rel in rels
+                )
+        for pair in missing:
+            out[pair] = memo[pair]
+        return out
+
+    # -- closure transactions -------------------------------------------
+
+    def apply_verdicts(self, batch: Iterable[Verdict]) -> int:
+        """Ingest one round's aggregated verdicts as a single closure
+        transaction.
+
+        ``batch`` is an iterable of ``(left, right, attribute, answer)``
+        tuples. Verdicts are applied strictly in the given order — under
+        :attr:`ContradictionPolicy.KEEP_FIRST` acceptance is
+        order-sensitive, so the transaction never reorders answers; what
+        it batches is everything *around* the per-edge closure update:
+        one ``pref.apply_verdicts`` span, one
+        ``crowdsky_closure_batch_size`` histogram observation and one
+        ``pref.batch`` trace event per round instead of per answer.
+
+        Returns the number of accepted (non-contradicting) verdicts.
+        """
+        verdicts = batch if isinstance(batch, list) else list(batch)
+        if not verdicts:
+            return 0
+        observation = current_observation()
+        if observation.enabled:
+            with observation.tracer.span(
+                "pref.apply_verdicts",
+                verdicts=len(verdicts),
+                backend=self.backend,
+            ):
+                accepted = self._apply_verdicts(verdicts)
+            observation.tracer.event(
+                "pref.batch",
+                verdicts=len(verdicts),
+                accepted=accepted,
+                backend=self.backend,
+            )
+            observation.metrics.histogram(CLOSURE_BATCH_SIZE).observe(
+                len(verdicts)
+            )
+        else:
+            accepted = self._apply_verdicts(verdicts)
+        if self._run_metrics is not None:
+            self._run_metrics.histogram(CLOSURE_BATCH_SIZE).observe(
+                len(verdicts)
+            )
+        return accepted
+
+    def _apply_verdicts(self, verdicts: List[Verdict]) -> int:
+        graphs = self.graphs
+        accepted = 0
+        for u, v, attribute, answer in verdicts:
+            if graphs[attribute].add_answer(u, v, answer):
+                accepted += 1
+        return accepted
 
     # -- AC-level predicates --------------------------------------------
 
@@ -603,6 +931,8 @@ class PreferenceSystem:
         """
         if len(members) < 2:
             return list(members)
+        if isinstance(self.graphs[0], NumpyPreferenceGraph):
+            return self._sky_ac_numpy(members)
         if self.num_attributes == 1 and isinstance(
             self.graphs[0], BitsetPreferenceGraph
         ):
@@ -650,6 +980,48 @@ class PreferenceSystem:
                 continue  # a lower-indexed fully-tied twin is kept
             survivors.append(v)
         return survivors
+
+    def _sky_ac_numpy(self, members: Sequence[int]) -> List[int]:
+        """Vectorized ``SKY_AC`` for any ``|AC|`` (numpy backend).
+
+        For every member ``v`` the survivorship test of the generic loop
+        — "is some other member ``u`` weakly preferred on every
+        attribute and strictly somewhere (or a fully-tied lower-index
+        twin)?" — becomes per-attribute row gathers combined with
+        bitwise AND/OR, then one masked ``any`` per member. Equivalent
+        to the generic loop bit for bit: ``v``'s own bit never appears
+        in an ancestor row, so self-comparison is excluded for free.
+        """
+        m = np.fromiter(members, dtype=np.int64, count=len(members))
+        words = self.graphs[0]._words
+        one = np.uint64(1)
+        member_bits = one << (m & 63).astype(np.uint64)
+        member_mask = np.zeros(words, dtype=np.uint64)
+        np.bitwise_or.at(member_mask, m >> 6, member_bits)
+        weak_all = strict_any = tie_all = None
+        for graph in self.graphs:
+            roots = graph.find_roots(m)
+            anc = graph._anc[roots]
+            cls = graph._cls[roots]
+            if weak_all is None:
+                weak_all = anc | cls
+                strict_any = anc
+                tie_all = cls
+            else:
+                weak_all &= anc | cls
+                strict_any = strict_any | anc
+                tie_all = tie_all & cls
+        dominated = ((weak_all & strict_any) & member_mask).any(axis=1)
+        # Fully-tied twins: v is dropped iff a lower-indexed member
+        # shares its class on every attribute. Build per-member "bits
+        # strictly below v" masks and test the all-attribute tie rows.
+        cols = np.arange(words, dtype=np.int64)[None, :]
+        vw = (m >> 6)[:, None]
+        below_v = np.where(cols < vw, ~np.uint64(0), np.uint64(0))
+        below_v[cols == vw] = member_bits - one
+        tied = ((tie_all & member_mask) & below_v).any(axis=1)
+        keep = ~(dominated | tied)
+        return [v for v, kept in zip(members, keep) if kept]
 
     def total_rejected(self) -> int:
         """Total contradicted answers across all attributes."""

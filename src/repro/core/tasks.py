@@ -265,6 +265,19 @@ class TupleTask:
             self._asked_groups.add(group)
             return MultiwayRequest(group)
 
+        if self.state is TaskState.PROBING and len(self._probe_pairs) > 1:
+            # Warm the pair memo for the whole remaining ladder in one
+            # closure pass (one bulk kernel call under the numpy
+            # backend); the head-by-head resolution below then runs on
+            # memo hits until the next crowd answer. Pure prefetch — no
+            # state changes, so the emitted questions are unchanged.
+            live = set(self._ds)
+            self._prefs.resolve_pairs(
+                (u, v)
+                for u, v in self._probe_pairs
+                if u in live and v in live
+            )
+
         while self.state is TaskState.PROBING:
             if not self._probe_pairs:
                 self.state = TaskState.ASKING
@@ -276,6 +289,20 @@ class TupleTask:
             if self._resolve_probe_pair(u, v):
                 continue
             return PairRequest(u, v)
+
+        if (
+            self.state is TaskState.ASKING
+            and self._use_p2
+            and len(self._ds) - self._ask_index > 1
+        ):
+            # Same bulk prefetch for the Q(t) ladder: settle every
+            # remaining (s, t) dominance check in one closure pass, then
+            # scan on memo hits.
+            self._prefs.resolve_pairs(
+                (s, self.t)
+                for s in self._ds[self._ask_index:]
+                if s not in self._abandoned
+            )
 
         while self.state is TaskState.ASKING:
             if self._ask_index >= len(self._ds):

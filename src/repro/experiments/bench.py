@@ -11,7 +11,7 @@ The committed reference records live in
 tolerance bands and an absolute noise floor, which is what the CI
 ``bench`` job gates on. See ``docs/profiling.md``.
 
-Four suites, sharing benchmark ids only where the workload is
+Five suites, sharing benchmark ids only where the workload is
 byte-identical (records are only comparable per id):
 
 * ``smoke`` — seconds; the CI gate and the default.
@@ -24,6 +24,12 @@ byte-identical (records are only comparable per id):
   candidate counts ride along as ``machine_shipped_n*`` pseudo-
   benchmarks (deterministic counts, not seconds), so the committed
   baseline also pins merge traffic at O(skyline).
+* ``crowd-scale`` — the crowd-phase backend curve
+  (docs/performance.md): end-to-end CrowdSky per closure backend at
+  n=1k/5k/10k/20k (slow backends capped per
+  :data:`CROWD_SCALE_BACKENDS`), plus deterministic
+  ``crowd_closure_updates_*`` pseudo-benchmarks pinning the closure
+  maintenance work of every backend — tens of minutes per repeat.
 
 Workload determinism: every benchmark is seeded, so two runs on one
 machine time the *same* computation. The only wall-clock reads are the
@@ -45,7 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.crowdsky import crowdsky
+from repro.core.crowdsky import CrowdSkyConfig, crowdsky
 from repro.core.preference import PreferenceGraph
 from repro.crowd.questions import Preference
 from repro.data.synthetic import generate_synthetic
@@ -144,6 +150,72 @@ def _time_crowdsky(n: int) -> Dict[str, float]:
     return {"crowdsky_e2e_n%d" % n: time.perf_counter() - start}
 
 
+#: ``crowd-scale`` backend matrix per ``n``. The slower backends are
+#: capped where one repeat would run tens of minutes (bitset past
+#: n=10k, reference past n=5k); the numpy backend carries the curve to
+#: n=20k alone. The caps are deliberate and documented
+#: (docs/performance.md) — they are the measurement of *why* numpy is
+#: the default, not an attempt to hide the comparison.
+CROWD_SCALE_BACKENDS: Dict[int, Tuple[str, ...]] = {
+    1_000: ("numpy", "bitset", "reference"),
+    5_000: ("numpy", "bitset", "reference"),
+    10_000: ("numpy", "bitset"),
+    20_000: ("numpy",),
+}
+
+
+def _time_crowd_e2e(n: int) -> Dict[str, float]:
+    """End-to-end serial CrowdSky at one ``n``, per closure backend.
+
+    Same seeded workload as ``crowdsky_e2e_n*`` (so the numbers are
+    directly comparable with the historical trajectory), but the
+    backend is pinned explicitly per id — the committed crowd-scale
+    baseline is the cross-backend speedup evidence.
+    """
+    relation = generate_synthetic(n, 2, 2, seed=7)
+    out: Dict[str, float] = {}
+    for backend in CROWD_SCALE_BACKENDS[n]:
+        config = CrowdSkyConfig(backend=backend)
+        start = time.perf_counter()
+        crowdsky(relation, config=config)
+        out["crowd_e2e_%s_n%d" % (backend, n)] = (
+            time.perf_counter() - start
+        )
+    return out
+
+
+def _count_closure_updates(n: int) -> Dict[str, float]:
+    """Deterministic closure-update counts per backend (pseudo-bench).
+
+    Replays the seeded ``random_dag`` closure mix into every backend
+    and records each graph's ``closure_updates`` counter in the
+    ``median_s`` slot — a count, not seconds, so the committed baseline
+    pins closure maintenance *work* exactly (machine-independent). The
+    numpy backend must mirror the bitset accounting one-for-one; a
+    divergence fails the bench run instead of recording nonsense.
+    """
+    ops = _closure_ops(n, seed=3)
+    out: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for backend in ("numpy", "bitset", "reference"):
+        graph = PreferenceGraph(n, backend=backend)
+        for op in ops:
+            if op[0] == "answer":
+                graph.add_answer(op[1], op[2], op[3])
+            else:
+                graph.relation(op[1], op[2])
+        counts[backend] = graph.closure_updates
+        out["crowd_closure_updates_%s_n%d" % (backend, n)] = float(
+            graph.closure_updates
+        )
+    if counts["numpy"] != counts["bitset"]:
+        raise ExperimentError(
+            f"numpy closure-update accounting diverged from bitset at "
+            f"n={n}: {counts['numpy']} != {counts['bitset']}"
+        )
+    return out
+
+
 #: ``scale`` suite shape: shard count, worker processes (capped by the
 #: machine — the fingerprint's ``cpus`` field keeps records comparable),
 #: attribute count and the shipped-candidate ceiling.
@@ -223,6 +295,14 @@ SUITES: Dict[str, List[Callable[[], Dict[str, float]]]] = {
         lambda: _time_scale(10_000, matrix_kernel=True),
         lambda: _time_scale(100_000),
         lambda: _time_scale(1_000_000),
+    ],
+    "crowd-scale": [
+        lambda: _count_closure_updates(512),
+        lambda: _count_closure_updates(2048),
+        lambda: _time_crowd_e2e(1_000),
+        lambda: _time_crowd_e2e(5_000),
+        lambda: _time_crowd_e2e(10_000),
+        lambda: _time_crowd_e2e(20_000),
     ],
 }
 

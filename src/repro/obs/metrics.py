@@ -61,6 +61,10 @@ BUDGET_DENIALS = "crowdsky_budget_denials_total"
 TUPLES_EVALUATED = "crowdsky_tuples_evaluated_total"
 #: Histogram of executed round sizes (questions per round).
 ROUND_SIZE = "crowdsky_round_size_questions"
+#: Histogram of verdicts committed per closure transaction (one
+#: :meth:`~repro.core.preference.PreferenceSystem.apply_verdicts` call
+#: per crowd round).
+CLOSURE_BATCH_SIZE = "crowdsky_closure_batch_size"
 #: Wall seconds spent per instrumented phase, labelled by ``phase``.
 PHASE_SECONDS = "crowdsky_phase_seconds_total"
 #: Derived gauge: worker assignments per posted question.
@@ -115,6 +119,7 @@ DEFAULT_HELP: Dict[str, str] = {
     BUDGET_DENIALS: "Rounds refused by the question budget",
     TUPLES_EVALUATED: "Tuples whose skyline status was decided",
     ROUND_SIZE: "Questions per executed round",
+    CLOSURE_BATCH_SIZE: "Verdicts committed per closure transaction",
     PHASE_SECONDS: "Wall seconds spent per instrumented phase",
     MEAN_VOTES_PER_QUESTION: "Worker assignments per posted question",
     SWEEP_CELLS: "Sweep cells finished, by status",

@@ -93,6 +93,14 @@ EVENT_ATTRS: Dict[str, Dict[str, Tuple[type, ...]]] = {
     },
     "engine.tuple": {"t": (int,), "outcome": (str,)},
     "engine.visible_seed": {"edges": (int,)},
+    # One closure transaction committed a round's verdicts into the
+    # preference graphs (emitted right after its pref.apply_verdicts
+    # span closes).
+    "pref.batch": {
+        "verdicts": (int,),
+        "accepted": (int,),
+        "backend": (str,),
+    },
 }
 
 

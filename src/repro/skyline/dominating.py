@@ -62,6 +62,30 @@ def dominating_bitsets(dominating: List[Set[int]]) -> List[int]:
     return [bitset_of(members) for members in dominating]
 
 
+def packed_bitset_rows(sets: List[Set[int]], n: int) -> np.ndarray:
+    """Index sets packed into rows of a ``(len(sets), ceil(n/64))``
+    uint64 matrix.
+
+    The numpy twin of :func:`dominating_bitsets`: a disjointness or
+    membership test against many sets becomes one vectorized
+    ``AND``/``any`` over the rows instead of a Python loop over
+    arbitrary-precision ints. Bit ``i`` of row ``r`` lives at
+    ``rows[r, i >> 6] >> (i & 63) & 1``.
+    """
+    words = max(1, (n + 63) >> 6)
+    rows = np.zeros((len(sets), words), dtype=np.uint64)
+    for index, members in enumerate(sets):
+        if not members:
+            continue
+        idx = np.fromiter(members, dtype=np.int64, count=len(members))
+        np.bitwise_or.at(
+            rows[index],
+            idx >> 6,
+            np.uint64(1) << (idx & 63).astype(np.uint64),
+        )
+    return rows
+
+
 def pair_frequency(matrix: np.ndarray, u: int, v: int) -> int:
     """``freq(u, v)`` — tuples dominated by both ``u`` and ``v`` in AK."""
     return int(np.count_nonzero(matrix[u] & matrix[v]))

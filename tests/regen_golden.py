@@ -25,7 +25,7 @@ from repro.data.toy import figure1_dataset
 
 GOLDEN_PATH = Path(__file__).parent / "fixtures" / "golden_counts.json"
 
-BACKENDS = ("reference", "bitset")
+BACKENDS = ("reference", "bitset", "numpy")
 
 SCHEDULERS = {
     "crowdsky": crowdsky,
@@ -89,7 +89,10 @@ def build_golden() -> dict:
                 backend: run_case(relation, scheduler_name, backend)
                 for backend in BACKENDS
             }
-            if per_backend["reference"] != per_backend["bitset"]:
+            if any(
+                per_backend[backend] != per_backend["reference"]
+                for backend in BACKENDS
+            ):
                 raise SystemExit(
                     f"backend drift while regenerating golden counts: "
                     f"{dataset_name}/{scheduler_name}: {per_backend}"

@@ -18,7 +18,9 @@ from tests.strategies.preferences import (
     answer_events,
     answer_sequences,
     consistent_answer_sequences,
+    pair_query_batches,
     small_relations,
+    verdict_rounds,
 )
 from tests.strategies.relations import (
     KINDS,
@@ -39,8 +41,10 @@ __all__ = [
     "known_matrices",
     "lossy_fault_plans",
     "module_names",
+    "pair_query_batches",
     "python_modules",
     "retry_policies",
     "small_crowd_relations",
     "small_relations",
+    "verdict_rounds",
 ]

@@ -83,6 +83,44 @@ def consistent_answer_sequences(draw, max_n: int = 10, max_answers: int = 40):
 
 
 @st.composite
+def verdict_rounds(
+    draw,
+    max_n: int = 12,
+    max_attributes: int = 2,
+    max_rounds: int = 8,
+    max_round_size: int = 10,
+):
+    """Round-shaped verdict batches for the closure-transaction pin.
+
+    Returns ``(n, num_attributes, rounds)`` where ``rounds`` is a list
+    of verdict batches, each a list of ``(u, v, attribute, answer)``
+    tuples — the shape :meth:`PreferenceSystem.apply_verdicts` ingests.
+    Batches deliberately mix repeats, ties and contradictions (within
+    and across rounds) — acceptance under KEEP_FIRST is order-sensitive,
+    so a transaction that reorders or dedupes would be caught here.
+    """
+    n = draw(st.integers(2, max_n))
+    num_attributes = draw(st.integers(1, max_attributes))
+    rounds = draw(
+        st.lists(
+            st.lists(
+                answer_events(n, num_attributes), max_size=max_round_size
+            ),
+            max_size=max_rounds,
+        )
+    )
+    return (n, num_attributes, rounds)
+
+
+@st.composite
+def pair_query_batches(draw, n: int, max_pairs: int = 40):
+    """Aligned pair batches for the bulk-kernel pin: duplicates and
+    symmetric twins are likely by construction, ``u == v`` included."""
+    node = st.integers(0, n - 1)
+    return draw(st.lists(st.tuples(node, node), max_size=max_pairs))
+
+
+@st.composite
 def small_relations(
     draw,
     max_tuples: int = 14,

@@ -33,8 +33,10 @@ import pytest
 
 import repro.core.preference as pref
 from repro.core.preference import (
+    BACKEND_NAMES,
     BitsetPreferenceGraph,
     ContradictionPolicy,
+    NumpyPreferenceGraph,
     PreferenceGraph,
     PreferenceSystem,
     ReferencePreferenceGraph,
@@ -44,6 +46,8 @@ from repro.core.preference import (
 )
 from repro.crowd.questions import Preference
 from repro.exceptions import CrowdSkyError, PreferenceConflictError
+from repro.obs import observe
+from repro.obs.metrics import CLOSURE_BATCH_SIZE, MetricsRegistry
 
 pytestmark = pytest.mark.pref
 
@@ -183,7 +187,7 @@ def _outcomes(site, executed, arcs, returns) -> Tuple[int, int]:
 
 
 # ---------------------------------------------------------------------------
-# The exercise: every behaviour of the module, both backends
+# The exercise: every behaviour of the module, all three backends
 # ---------------------------------------------------------------------------
 
 
@@ -275,6 +279,64 @@ def _exercise_bitset_internals():
     assert graph._reaches(0, 2) and not graph._reaches(2, 0)
 
 
+def _exercise_numpy_internals():
+    # > 64 nodes so the packed rows span two uint64 words
+    graph = NumpyPreferenceGraph(70)
+    graph.add_answer(0, 1, L)
+    graph.add_answer(1, 65, L)  # closure bit in the second word
+    assert graph.relation(0, 65) is L
+    assert graph.relation(65, 0) is R
+    assert graph.relation(0, 2) is None
+    # merge with both ancestors and descendants to broadcast
+    graph.add_answer(3, 4, L)
+    graph.add_answer(1, 3, E)  # merge {1} and {3}: above={0}, below={65,4}
+    assert graph.relation(0, 4) is L
+    assert graph.relation(3, 3) is E
+    # merge of two isolated nodes: empty broadcast on both sides
+    graph.add_answer(5, 6, E)
+    assert graph.relation(5, 6) is E
+    # the documented backend hook, including the refresh sentinel
+    assert graph._reaches(0, 65) and not graph._reaches(65, 0)
+    assert graph._reaches(0, -1) is False
+    # bulk kernels
+    assert list(graph.find_roots([0, 1, 3, 4])) == [0, 1, 1, 4]
+    assert list(
+        graph.relations_batch([0, 65, 5, 7], [65, 0, 6, 8])
+    ) == [1, 2, 3, 0]
+    assert list(
+        graph.reachable_pairs([0, 65, 7], [65, 0, 8])
+    ) == [True, False, False]
+    mask = graph.undominated_mask()
+    assert bool(mask[0]) and not bool(mask[65]) and bool(mask[7])
+    # degenerate empty graph: no identity bits, empty mask
+    empty = NumpyPreferenceGraph(0)
+    assert empty.undominated_mask().size == 0
+
+
+def _exercise_transactions(backend):
+    system = PreferenceSystem(8, 2, backend=backend)
+    registry = MetricsRegistry()
+    system.attach_metrics(registry)
+    assert system.apply_verdicts([]) == 0
+    # list input, one contradicting verdict rejected mid-batch
+    assert system.apply_verdicts(
+        [(0, 1, 0, L), (1, 2, 0, L), (2, 0, 0, L)]
+    ) == 2
+    # generator input
+    assert system.apply_verdicts(iter([(0, 1, 1, E)])) == 1
+    histogram = registry.histogram(CLOSURE_BATCH_SIZE)
+    assert histogram.count == 2 and histogram.sum == 4.0
+    # under an active observation both registries record the batch
+    with observe() as observation:
+        assert system.apply_verdicts([(3, 4, 0, L)]) == 1
+        assert system.resolve_pairs([(3, 4)])[(3, 4)] == (L, None)
+    assert observation.metrics.histogram(CLOSURE_BATCH_SIZE).count == 1
+    assert registry.histogram(CLOSURE_BATCH_SIZE).count == 3
+    # without an attached registry only the observation path records
+    bare = PreferenceSystem(4, 1, backend=backend)
+    assert bare.apply_verdicts([(0, 1, 0, L)]) == 1
+
+
 def _exercise_base_hooks():
     base = _BasePreferenceGraph(3)
     with pytest.raises(NotImplementedError):
@@ -287,10 +349,13 @@ def _exercise_base_hooks():
 
 def _exercise_backend_selection(monkeypatch):
     monkeypatch.delenv(pref.BACKEND_ENV_VAR, raising=False)
-    assert default_backend() == "bitset"
+    assert default_backend() == "numpy"
+    assert isinstance(PreferenceGraph(2), NumpyPreferenceGraph)
     monkeypatch.setenv(pref.BACKEND_ENV_VAR, "Reference")
     assert default_backend() == "reference"
     assert isinstance(PreferenceGraph(2), ReferencePreferenceGraph)
+    monkeypatch.setenv(pref.BACKEND_ENV_VAR, "bitset")
+    assert isinstance(PreferenceGraph(2), BitsetPreferenceGraph)
     monkeypatch.setenv(pref.BACKEND_ENV_VAR, "nope")
     with pytest.raises(CrowdSkyError):
         default_backend()
@@ -351,11 +416,13 @@ def _exercise_system(backend):
 
 
 def _run_exercise(monkeypatch):
-    for backend in ("reference", "bitset"):
+    for backend in BACKEND_NAMES:
         _exercise_graph(backend)
         _exercise_system(backend)
+        _exercise_transactions(backend)
     _exercise_reference_internals()
     _exercise_bitset_internals()
+    _exercise_numpy_internals()
     _exercise_base_hooks()
     _exercise_backend_selection(monkeypatch)
 

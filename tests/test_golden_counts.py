@@ -82,7 +82,10 @@ def test_sharded_counts_match_golden(
 def test_golden_backends_agree(golden):
     """The committed fixture itself must be backend-consistent."""
     for key, per_backend in golden.items():
-        assert per_backend["reference"] == per_backend["bitset"], key
+        for backend in BACKENDS:
+            assert per_backend[backend] == per_backend["reference"], (
+                f"{key} [{backend}]"
+            )
 
 
 def test_golden_sharded_equals_serial(golden):

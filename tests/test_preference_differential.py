@@ -1,13 +1,17 @@
-"""Differential suite: bitset vs reference preference backends.
+"""Differential suite: the three preference backends, pinned pairwise.
 
 The bitset backend (:class:`repro.core.preference.BitsetPreferenceGraph`)
-is an optimization of the reference implementation, not a
-reinterpretation — every observable it exposes must match the reference
-bit for bit. These properties replay random answer histories (edges,
-ties, contradictions under both :class:`ContradictionPolicy` values)
-into both backends and compare the complete derivable state, then pin
-full CrowdSky runs (all three schedulers) to identical question counts,
-rounds and skylines under either backend.
+and the numpy backend (:class:`repro.core.preference.NumpyPreferenceGraph`)
+are optimizations of the reference implementation, not reinterpretations
+— every observable they expose must match the reference bit for bit.
+These properties replay random answer histories (edges, ties,
+contradictions under both :class:`ContradictionPolicy` values) into all
+three backends and compare the complete derivable state, pin the
+round-shaped closure transactions (:meth:`PreferenceSystem.
+apply_verdicts`) and the numpy bulk kernels against the scalar queries,
+then pin full CrowdSky runs — all four schedulers — to identical
+question order, round tables, skylines and journal bytes under any
+backend.
 """
 
 import pytest
@@ -15,15 +19,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CrowdSkyConfig, crowdsky, parallel_dset, parallel_sl
+from repro.core.crowdsky import crowdsky_budgeted
 from repro.core.preference import (
+    BACKEND_NAMES,
     BitsetPreferenceGraph,
     ContradictionPolicy,
+    NumpyPreferenceGraph,
     PreferenceGraph,
     PreferenceSystem,
     ReferencePreferenceGraph,
     default_backend,
 )
+from repro.crowd.journal import segment_paths
+from repro.crowd.platform import SimulatedCrowd
 from repro.crowd.questions import Preference
+from repro.crowd.workers import WorkerPool
 from repro.data.synthetic import Distribution, generate_synthetic
 from repro.exceptions import CrowdSkyError, PreferenceConflictError
 from tests.strategies import (
@@ -31,12 +41,30 @@ from tests.strategies import (
     ROBUSTNESS_SETTINGS,
     answer_sequences,
     consistent_answer_sequences,
+    pair_query_batches,
     small_relations,
+    verdict_rounds,
 )
 
 pytestmark = pytest.mark.pref
 
-BACKENDS = ("reference", "bitset")
+BACKENDS = BACKEND_NAMES  # ("numpy", "bitset", "reference")
+
+#: The four schedulers of the end-to-end pin — name → runner.
+SCHEDULERS = {
+    "crowdsky": lambda relation, crowd, config: crowdsky(
+        relation, crowd, config=config
+    ),
+    "crowdsky_budgeted": lambda relation, crowd, config: crowdsky_budgeted(
+        relation, 40, crowd, config=config
+    ),
+    "parallel_dset": lambda relation, crowd, config: parallel_dset(
+        relation, crowd, config=config
+    ),
+    "parallel_sl": lambda relation, crowd, config: parallel_sl(
+        relation, crowd, config=config
+    ),
+}
 
 
 def graph_state(graph, n):
@@ -57,6 +85,44 @@ def replay(graph, events):
     return [graph.add_answer(u, v, answer) for u, v, _, answer in events]
 
 
+def round_table(result):
+    """The per-round question table: round → ordered (question, answer)."""
+    table = {}
+    for round_no, question, answer in result.question_log:
+        table.setdefault(round_no, []).append((question.key(), answer))
+    return table
+
+
+def result_digest(result):
+    """Every cross-backend observable of one scheduler run."""
+    return {
+        "skyline": result.skyline,
+        "questions": result.stats.questions,
+        "rounds": result.stats.rounds,
+        "worker_assignments": result.stats.worker_assignments,
+        "round_sizes": result.stats.round_sizes,
+        "cached_hits": result.stats.cached_hits,
+        "rejected": result.rejected_answers,
+        "question_log": result.question_log,
+        "round_table": round_table(result),
+    }
+
+
+def assert_backends_agree(by_backend):
+    """Compare each optimized backend's value against the reference."""
+    reference = by_backend["reference"]
+    for backend, value in by_backend.items():
+        assert value == reference, f"{backend} diverges from reference"
+
+
+def assert_closure_counts_mirror(graphs):
+    """The numpy backend's closure-update accounting mirrors the bitset
+    backend exactly (one update per representative row swept) — the
+    invariant the deterministic pseudo-benchmarks rely on. The reference
+    backend counts invalidations instead, so it is excluded."""
+    assert graphs["numpy"].closure_updates == graphs["bitset"].closure_updates
+
+
 class TestGraphDifferential:
     @settings(
         parent=DIFFERENTIAL_SETTINGS,
@@ -66,37 +132,50 @@ class TestGraphDifferential:
         """Random histories (contradictions included) yield identical
         acceptance decisions and identical derivable state."""
         n, _, events = sequence
-        reference = ReferencePreferenceGraph(n)
-        bitset = BitsetPreferenceGraph(n)
-        assert replay(reference, events) == replay(bitset, events)
-        assert graph_state(reference, n) == graph_state(bitset, n)
+        graphs = {
+            backend: PreferenceGraph(n, backend=backend)
+            for backend in BACKENDS
+        }
+        assert_backends_agree(
+            {b: replay(g, events) for b, g in graphs.items()}
+        )
+        assert_backends_agree(
+            {b: graph_state(g, n) for b, g in graphs.items()}
+        )
+        assert_closure_counts_mirror(graphs)
 
     @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
     @given(answer_sequences(max_attributes=1))
     def test_raise_policy_rejects_at_same_event(self, sequence):
-        """Under RAISE both backends throw on exactly the same event,
+        """Under RAISE all backends throw on exactly the same event,
         leaving identical pre-conflict state behind."""
         n, _, events = sequence
-        reference = ReferencePreferenceGraph(
-            n, policy=ContradictionPolicy.RAISE
-        )
-        bitset = BitsetPreferenceGraph(n, policy=ContradictionPolicy.RAISE)
+        graphs = {
+            backend: PreferenceGraph(
+                n, policy=ContradictionPolicy.RAISE, backend=backend
+            )
+            for backend in BACKENDS
+        }
         failed_at = {}
-        for name, graph in (("reference", reference), ("bitset", bitset)):
+        for name, graph in graphs.items():
             for index, (u, v, _, answer) in enumerate(events):
                 try:
                     graph.add_answer(u, v, answer)
                 except PreferenceConflictError:
                     failed_at[name] = index
                     break
-        assert failed_at.get("reference") == failed_at.get("bitset")
-        assert graph_state(reference, n) == graph_state(bitset, n)
+        assert_backends_agree(
+            {b: failed_at.get(b) for b in BACKENDS}
+        )
+        assert_backends_agree(
+            {b: graph_state(g, n) for b, g in graphs.items()}
+        )
 
     @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
     @given(consistent_answer_sequences())
     def test_consistent_histories_never_reject(self, sequence):
         """Histories drawn from a latent weak order are accepted whole
-        by both backends, which then agree with the latent order."""
+        by every backend, which then agrees with the latent order."""
         n, _, events, ranks = sequence
         for backend in BACKENDS:
             graph = PreferenceGraph(
@@ -126,24 +205,107 @@ class TestGraphDifferential:
             for backend in BACKENDS
         }
         for u, v, attribute, answer in events:
-            accepted = {
+            assert_backends_agree({
                 backend: system.add_answer(u, v, attribute, answer)
                 for backend, system in systems.items()
-            }
-            assert accepted["reference"] == accepted["bitset"]
-        ref, bit = systems["reference"], systems["bitset"]
+            })
         pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
-        assert ref.resolve_pairs(pairs) == bit.resolve_pairs(pairs)
-        for u, v in pairs:
-            assert ref.ac_dominates(u, v) == bit.ac_dominates(u, v)
-            assert ref.ac_equal(u, v) == bit.ac_equal(u, v)
-            assert ref.weakly_prefers_all(u, v) == bit.weakly_prefers_all(u, v)
-            assert ref.cannot_dominate(u, v) == bit.cannot_dominate(u, v)
-            assert ref.unknown_attributes(u, v) == bit.unknown_attributes(u, v)
-        assert ref.total_rejected() == bit.total_rejected()
+        assert_backends_agree({
+            b: s.resolve_pairs(pairs) for b, s in systems.items()
+        })
+        for predicate in (
+            "ac_dominates",
+            "ac_equal",
+            "weakly_prefers_all",
+            "cannot_dominate",
+            "unknown_attributes",
+        ):
+            assert_backends_agree({
+                b: [getattr(s, predicate)(u, v) for u, v in pairs]
+                for b, s in systems.items()
+            })
+        assert_backends_agree({
+            b: s.total_rejected() for b, s in systems.items()
+        })
         members = list(range(0, n, 2)) + list(range(1, n, 2))
-        assert ref.sky_ac(members) == bit.sky_ac(members)
-        assert ref.sky_ac(list(range(n))) == bit.sky_ac(list(range(n)))
+        assert_backends_agree({
+            b: s.sky_ac(members) for b, s in systems.items()
+        })
+        assert_backends_agree({
+            b: s.sky_ac(list(range(n))) for b, s in systems.items()
+        })
+
+    @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
+    @given(verdict_rounds())
+    def test_apply_verdicts_matches_scalar_ingestion(self, sequence):
+        """Round-shaped closure transactions accept exactly the answers
+        the scalar path accepts, in the same order, on every backend.
+
+        KEEP_FIRST makes acceptance order-sensitive, so this is the pin
+        that a transaction must never reorder or dedupe its batch."""
+        n, num_attributes, rounds = sequence
+        scalar = PreferenceSystem(n, num_attributes, backend="reference")
+        scalar_accepted = [
+            sum(
+                scalar.add_answer(u, v, attribute, answer)
+                for u, v, attribute, answer in batch
+            )
+            for batch in rounds
+        ]
+        states = {}
+        systems = {}
+        for backend in BACKENDS:
+            system = PreferenceSystem(n, num_attributes, backend=backend)
+            accepted = [system.apply_verdicts(batch) for batch in rounds]
+            assert accepted == scalar_accepted
+            systems[backend] = system
+            states[backend] = [
+                graph_state(graph, n) for graph in system.graphs
+            ]
+        states["reference-scalar"] = [
+            graph_state(graph, n) for graph in scalar.graphs
+        ]
+        assert_backends_agree(states)
+        assert (
+            systems["numpy"].closure_updates()
+            == systems["bitset"].closure_updates()
+        )
+
+    @settings(parent=DIFFERENTIAL_SETTINGS, max_examples=60)
+    @given(sequence=answer_sequences(max_n=10, max_attributes=1), data=st.data())
+    def test_numpy_bulk_kernels_match_scalar_queries(self, sequence, data):
+        """The numpy bulk kernels answer exactly like the scalar API."""
+        n, _, events = sequence
+        graph = NumpyPreferenceGraph(n)
+        replay(graph, events)
+        pairs = data.draw(pair_query_batches(n))
+        us = [u for u, _ in pairs]
+        vs = [v for _, v in pairs]
+        codes = list(graph.relations_batch(us, vs))
+        expected = [
+            {None: 0, Preference.LEFT: 1, Preference.RIGHT: 2,
+             Preference.EQUAL: 3}[graph.relation(u, v)]
+            for u, v in pairs
+        ]
+        assert codes == expected
+        reachable = list(graph.reachable_pairs(us, vs))
+        assert reachable == [
+            graph.class_of(u) != graph.class_of(v)
+            and graph.relation(u, v) is Preference.LEFT
+            for u, v in pairs
+        ]
+        mask = graph.undominated_mask()
+        assert list(mask) == [
+            not any(
+                graph.relation(u, v) is Preference.LEFT
+                for u in range(n)
+                if graph.class_of(u) != graph.class_of(v)
+            )
+            for v in range(n)
+        ]
+        assert list(graph.find_roots(list(range(n)))) == [
+            graph.class_of(v) for v in range(n)
+        ]
 
 
 class TestEndToEndDifferential:
@@ -159,51 +321,76 @@ class TestEndToEndDifferential:
         relation = generate_synthetic(
             28, 2, num_crowd, distribution, seed=seed
         )
-        for scheduler in (crowdsky, parallel_dset, parallel_sl):
-            results = {
-                backend: scheduler(
-                    relation, config=CrowdSkyConfig(backend=backend)
+        for scheduler in SCHEDULERS.values():
+            assert_backends_agree({
+                backend: result_digest(
+                    scheduler(
+                        relation, None, CrowdSkyConfig(backend=backend)
+                    )
                 )
                 for backend in BACKENDS
-            }
-            ref, bit = results["reference"], results["bitset"]
-            assert ref.skyline == bit.skyline
-            assert ref.stats.questions == bit.stats.questions
-            assert ref.stats.rounds == bit.stats.rounds
-            assert ref.rejected_answers == bit.rejected_answers
-            assert ref.question_log == bit.question_log
+            })
 
     @settings(parent=ROBUSTNESS_SETTINGS, max_examples=15)
     @given(relation=small_relations())
     def test_arbitrary_relations_identical(self, relation):
         """Grid relations with ties/duplicates — the degenerate-case
         preprocessing and tie-merge paths — agree end to end."""
-        results = {
-            backend: crowdsky(
-                relation, config=CrowdSkyConfig(backend=backend)
+        assert_backends_agree({
+            backend: result_digest(
+                crowdsky(relation, config=CrowdSkyConfig(backend=backend))
             )
             for backend in BACKENDS
-        }
-        ref, bit = results["reference"], results["bitset"]
-        assert ref.skyline == bit.skyline
-        assert ref.stats.questions == bit.stats.questions
-        assert ref.stats.rounds == bit.stats.rounds
-        assert ref.question_log == bit.question_log
+        })
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_journal_bytes_identical(self, scheduler, tmp_path, monkeypatch):
+        """The write-ahead journal is byte-for-byte independent of the
+        backend, noisy crowd included.
+
+        The backend is selected through ``REPRO_PREF_BACKEND`` (config
+        ``backend=None``) so the run-header payload — which embeds the
+        config — is identical too; only then is byte equality possible.
+        """
+        relation = generate_synthetic(24, 2, 2, seed=11)
+        blobs = {}
+        for backend in BACKENDS:
+            monkeypatch.setenv("REPRO_PREF_BACKEND", backend)
+            journal = tmp_path / backend
+            crowd = SimulatedCrowd(
+                relation,
+                pool=WorkerPool.uniform(size=25, accuracy=0.9),
+                seed=9,
+                journal=journal,
+            )
+            SCHEDULERS[scheduler](relation, crowd, None)
+            blobs[backend] = b"".join(
+                path.read_bytes() for path in segment_paths(journal)
+            )
+        assert_backends_agree(blobs)
 
 
 class TestBackendSelection:
-    def test_default_is_bitset(self, monkeypatch):
+    def test_default_is_numpy(self, monkeypatch):
         monkeypatch.delenv("REPRO_PREF_BACKEND", raising=False)
-        assert default_backend() == "bitset"
-        assert isinstance(PreferenceGraph(4), BitsetPreferenceGraph)
+        assert default_backend() == "numpy"
+        assert isinstance(PreferenceGraph(4), NumpyPreferenceGraph)
 
-    def test_env_var_selects_reference(self, monkeypatch):
-        monkeypatch.setenv("REPRO_PREF_BACKEND", "reference")
-        assert default_backend() == "reference"
-        assert isinstance(PreferenceGraph(4), ReferencePreferenceGraph)
+    @pytest.mark.parametrize(
+        "backend, cls",
+        [
+            ("numpy", NumpyPreferenceGraph),
+            ("bitset", BitsetPreferenceGraph),
+            ("reference", ReferencePreferenceGraph),
+        ],
+    )
+    def test_env_var_selects_backend(self, backend, cls, monkeypatch):
+        monkeypatch.setenv("REPRO_PREF_BACKEND", backend)
+        assert default_backend() == backend
+        assert isinstance(PreferenceGraph(4), cls)
         system = PreferenceSystem(4, 1)
-        assert system.backend == "reference"
-        assert isinstance(system.graphs[0], ReferencePreferenceGraph)
+        assert system.backend == backend
+        assert isinstance(system.graphs[0], cls)
 
     def test_constructor_flag_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_PREF_BACKEND", "reference")
@@ -219,11 +406,15 @@ class TestBackendSelection:
             default_backend()
 
     def test_config_backend_threads_through(self, small_independent):
-        result = crowdsky(
-            small_independent, config=CrowdSkyConfig(backend="reference")
+        results = {
+            backend: crowdsky(
+                small_independent, config=CrowdSkyConfig(backend=backend)
+            )
+            for backend in BACKENDS
+        }
+        assert_backends_agree(
+            {b: r.skyline for b, r in results.items()}
         )
-        baseline = crowdsky(
-            small_independent, config=CrowdSkyConfig(backend="bitset")
+        assert_backends_agree(
+            {b: r.stats.questions for b, r in results.items()}
         )
-        assert result.skyline == baseline.skyline
-        assert result.stats.questions == baseline.stats.questions
