@@ -1,6 +1,6 @@
 # Convenience targets for the CrowdSky reproduction.
 
-.PHONY: install test test-robustness test-obs test-pref test-perf-core test-perf-obs test-sweep test-analysis test-recovery test-sharded regen-golden closure-baseline bench bench-ci bench-sweep bench-trajectory bench-baseline bench-scale experiments experiments-paper examples trace-demo report-demo lint lint-baseline
+.PHONY: install test test-robustness test-obs test-pref test-perf-core test-perf-obs test-sweep test-analysis test-sanitize test-recovery test-sharded regen-golden closure-baseline bench bench-ci bench-sweep bench-trajectory bench-baseline bench-scale experiments experiments-paper examples trace-demo report-demo lint lint-baseline
 
 # Suite for bench-trajectory (smoke | ci | paper | scale).
 BENCH_SUITE ?= ci
@@ -44,10 +44,21 @@ test-perf-obs:
 test-sweep:
 	pytest tests/test_sweep.py -m sweep -q
 
-# Invariant-linter suite: rule fixtures, suppression/baseline
-# round-trip, JSON schema, self-clean gate, Hypothesis crash-safety.
+# Invariant-linter suite: rule fixtures (module-local and
+# interprocedural), call-graph builder, suppression/baseline
+# round-trip, result cache, sanitizer units, JSON schema, self-clean
+# gate, Hypothesis crash-safety.
 test-analysis:
-	pytest tests/test_analysis.py -m analysis -q
+	pytest tests/test_analysis.py tests/test_callgraph.py tests/test_cache.py tests/test_sanitize.py -m analysis -q
+
+# Runtime determinism sanitizer gate: the crash-recovery differential
+# and the preference-closure differential re-run with every test
+# wrapped in the sanitizer (--repro-sanitize); any wall-clock read,
+# global-RNG use or os.urandom call on a result path fails the test
+# with a stack pointing at the offending line (docs/static-analysis.md).
+test-sanitize:
+	pytest tests/test_journal.py tests/test_recovery.py -m recovery -q --repro-sanitize
+	pytest tests/test_preference_differential.py -q --repro-sanitize
 
 # Journal durability: corruption matrix + the crash-injection
 # differential harness (resume is byte-identical at every write point).

@@ -1,0 +1,549 @@
+"""Project-wide call graph over the scanned module tree.
+
+The module-local rules (RA001-RA012) see one function at a time; the
+interprocedural rules (RA013-RA016) need to know *what calls what*
+across module boundaries. This builder derives, from the same parsed
+:class:`~repro.analysis.engine.SourceModule` set the rest of the linter
+uses (no imports, no execution):
+
+* every function definition — module-level functions, methods on named
+  classes, and nested functions (qualnames use the runtime's
+  ``outer.<locals>.inner`` spelling);
+* call edges between them, resolved through import aliases
+  (``from repro.core.engine import run_crowdsky``), dotted attribute
+  chains (``sweep.run_cells``), ``self.method()`` dispatch within a
+  class, simple local aliases (``worker = a if flag else b``), and the
+  sweep engine's ``"module:function"`` runner strings;
+* per-function *summaries* of the sink facts the interprocedural rules
+  propagate: wall-clock reads, unseeded/global RNG use, environment
+  reads, and truncating writes.
+
+Resolution is deliberately conservative: an edge exists only when the
+target is statically identifiable, and anything dynamic (``getattr``,
+computed names, star imports) simply contributes no edge. The
+interprocedural rules are therefore best-effort in the same way the
+module-local rules are — they can miss, but what they report is real.
+
+Module-level statements (the import-time code of a module) are modelled
+as a pseudo-function with qualname ``<module>`` so taint entering at
+import time is still walkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.rules.base import resolved_name
+from repro.analysis.rules.determinism import (
+    NUMPY_SEEDED_CONSTRUCTORS,
+    WALL_CLOCK_CALLS,
+    UnseededRandomRule,
+)
+from repro.analysis.rules.persistence import (
+    OPEN_CALLS,
+    TRUNCATING_METHODS,
+    _open_mode,
+)
+from repro.analysis.rules.purity import ENV_READS, RUNNER_RE
+from repro.analysis.rules.base import literal_str, literal_strs
+
+#: Qualname of the pseudo-function holding module-level statements.
+MODULE_BODY = "<module>"
+
+#: A function's identity inside the graph.
+FunctionKey = Tuple[str, str]  # (module name, qualname)
+
+
+@dataclass
+class FunctionInfo:
+    """One definition site (function, method, nested function)."""
+
+    module: str
+    qualname: str
+    node: Optional[ast.AST]  # None for the <module> pseudo-function
+
+    @property
+    def key(self) -> FunctionKey:
+        return (self.module, self.qualname)
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def is_nested(self) -> bool:
+        return ".<locals>." in self.qualname
+
+    @property
+    def is_method(self) -> bool:
+        return (
+            "." in self.qualname
+            and not self.is_nested
+            and self.qualname != MODULE_BODY
+        )
+
+    @property
+    def is_module_level(self) -> bool:
+        """A plain ``def`` at module scope — picklable by reference."""
+        return (
+            "." not in self.qualname and self.qualname != MODULE_BODY
+        )
+
+
+@dataclass
+class CallEdge:
+    """``caller`` reaches ``callee`` at ``node``.
+
+    ``kind`` records how the edge was established: a direct ``call``, a
+    sweep ``runner`` string, or a pool ``submit`` argument.
+    """
+
+    caller: FunctionKey
+    callee: FunctionKey
+    node: ast.AST
+    kind: str = "call"
+
+
+@dataclass
+class Sink:
+    """A nondeterminism/persistence fact local to one function."""
+
+    kind: str  # wall_clock | unseeded_rng | env_read | truncating_write
+    node: ast.AST
+    detail: str
+
+
+@dataclass
+class SubmitSite:
+    """A ``pool.submit(worker, ...)``-shaped call.
+
+    ``targets`` holds every function the worker argument may resolve
+    to; ``unresolved`` is a human-readable reason when it resolves to
+    nothing checkable (lambda, computed expression, ...).
+    """
+
+    module: str
+    caller: FunctionKey
+    node: ast.Call
+    arg: Optional[ast.expr]
+    targets: List[FunctionKey] = field(default_factory=list)
+    unresolved: Optional[str] = None
+
+
+@dataclass
+class RunnerRef:
+    """A ``"module:function"`` literal and where it points."""
+
+    module: str
+    caller: FunctionKey
+    node: ast.AST
+    target_module: str
+    target_func: str
+    target: Optional[FunctionKey] = None
+
+
+class CallGraph:
+    """The graph plus the per-function summaries rules consume."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[FunctionKey, FunctionInfo] = {}
+        self.edges: Dict[FunctionKey, List[CallEdge]] = {}
+        self.sinks: Dict[FunctionKey, List[Sink]] = {}
+        self.submit_sites: List[SubmitSite] = []
+        self.runner_refs: List[RunnerRef] = []
+        self._by_dotted: Dict[str, FunctionKey] = {}
+        self._module_names: Set[str] = set()
+
+    # -- lookups -------------------------------------------------------------
+
+    def function(self, key: FunctionKey) -> Optional[FunctionInfo]:
+        return self.functions.get(key)
+
+    def callees(self, key: FunctionKey) -> List[CallEdge]:
+        return self.edges.get(key, [])
+
+    def sinks_of(self, key: FunctionKey) -> List[Sink]:
+        return self.sinks.get(key, [])
+
+    def resolve_dotted(self, dotted: str) -> Optional[FunctionKey]:
+        """``repro.core.engine.Engine.run`` -> its function key."""
+        return self._by_dotted.get(dotted)
+
+    def functions_in(self, module: str) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            if info.module == module:
+                yield info
+
+    # -- reachability --------------------------------------------------------
+
+    def walk_paths(
+        self,
+        start: FunctionKey,
+        skip_module=None,
+    ) -> Iterator[Tuple[List[CallEdge], FunctionKey]]:
+        """BFS over call edges from ``start``.
+
+        Yields ``(path, reached)`` for every function reachable from
+        ``start`` — ``path`` is the edge list leading there (shortest
+        first, deterministic order). ``skip_module`` is a predicate on
+        dotted module names; edges *into* skipped modules are not
+        followed (and not yielded).
+        """
+        seen: Set[FunctionKey] = {start}
+        frontier: List[Tuple[FunctionKey, List[CallEdge]]] = [(start, [])]
+        while frontier:
+            next_frontier: List[Tuple[FunctionKey, List[CallEdge]]] = []
+            for key, path in frontier:
+                for edge in self.callees(key):
+                    target = edge.callee
+                    if target in seen:
+                        continue
+                    if skip_module is not None and skip_module(target[0]):
+                        continue
+                    seen.add(target)
+                    new_path = path + [edge]
+                    yield new_path, target
+                    next_frontier.append((target, new_path))
+            frontier = next_frontier
+
+    def reachable(
+        self, start: FunctionKey, skip_module=None
+    ) -> Set[FunctionKey]:
+        """Every function reachable from ``start`` (excl. ``start``)."""
+        return {
+            key for _, key in self.walk_paths(start, skip_module)
+        }
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        modules: Sequence,
+        config: Optional[AnalysisConfig] = None,
+    ) -> "CallGraph":
+        config = config or AnalysisConfig()
+        graph = cls()
+        graph._module_names = {module.name for module in modules}
+        builders = [_ModuleIndex(module) for module in modules]
+        for index in builders:
+            for info in index.functions:
+                graph.functions[info.key] = info
+                graph._by_dotted[info.dotted] = info.key
+        for index in builders:
+            index.link(graph, config)
+        return graph
+
+
+# -- per-module indexing -----------------------------------------------------
+
+
+class _ModuleIndex:
+    """One module's contribution to the graph, built in two passes.
+
+    Pass one (``__init__``) inventories definitions; pass two
+    (:meth:`link`) resolves call/runner/submit edges against the full
+    project inventory and records sink summaries.
+    """
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.functions: List[FunctionInfo] = [
+            FunctionInfo(module.name, MODULE_BODY, None)
+        ]
+        #: innermost owning function for every statement/expression node
+        self.owner: Dict[ast.AST, str] = {}
+        #: top-level ``name -> qualname`` for functions and classes
+        self.toplevel: Dict[str, str] = {}
+        self._collect(module.tree, scope=[], class_depth=0)
+
+    def _collect(
+        self, node: ast.AST, scope: List[str], class_depth: int
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                qual = self._qualname(scope, child.name)
+                self.functions.append(
+                    FunctionInfo(self.module.name, qual, child)
+                )
+                if not scope:
+                    self.toplevel[child.name] = qual
+                self._stamp(child, qual)
+                inner = scope + [child.name, "<locals>"]
+                self._collect(child, inner, class_depth)
+            elif isinstance(child, ast.ClassDef):
+                if not scope:
+                    self.toplevel[child.name] = child.name
+                self._collect(
+                    child, scope + [child.name], class_depth + 1
+                )
+            else:
+                self._collect(child, scope, class_depth)
+
+    @staticmethod
+    def _qualname(scope: List[str], name: str) -> str:
+        return ".".join(scope + [name]) if scope else name
+
+    def _stamp(self, func: ast.AST, qual: str) -> None:
+        """Mark every node directly inside ``func`` (not inside a
+        nested def) as owned by ``qual``."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                # decorators/defaults evaluate in the enclosing scope
+                if isinstance(node, ast.Lambda):
+                    continue
+                for dec in node.decorator_list:
+                    self.owner[dec] = qual
+                    stack.extend(ast.walk(dec))
+                continue
+            self.owner[node] = qual
+            stack.extend(ast.iter_child_nodes(node))
+
+    def owner_key(self, node: ast.AST) -> FunctionKey:
+        return (self.module.name, self.owner.get(node, MODULE_BODY))
+
+    # -- pass two ------------------------------------------------------------
+
+    def link(self, graph: CallGraph, config: AnalysisConfig) -> None:
+        module = self.module
+        imports = module.imports
+        aliases = self._local_aliases()
+        rng_rule = UnseededRandomRule()
+
+        for node in module.walk():
+            caller = self.owner_key(node)
+            if isinstance(node, ast.Call):
+                self._link_call(graph, config, node, caller, imports, aliases)
+                self._record_call_sinks(graph, node, caller, imports, rng_rule)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                name = resolved_name(node, imports)
+                if name in ENV_READS:
+                    graph.sinks.setdefault(caller, []).append(
+                        Sink("env_read", node, name)
+                    )
+            value = literal_str(node)
+            if value is not None:
+                match = RUNNER_RE.match(value)
+                if match and match.group("module").startswith(
+                    config.runner_prefix
+                ):
+                    self._link_runner(
+                        graph, node, caller,
+                        match.group("module"), match.group("func"),
+                    )
+
+    def _link_call(
+        self, graph, config, node: ast.Call, caller, imports, aliases
+    ) -> None:
+        # pool.submit(worker, ...): the first argument is the callable
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+        ):
+            self._link_submit(graph, node, caller, imports, aliases)
+        targets = self._resolve_callable(
+            graph, node.func, caller, imports, aliases
+        )
+        for target in targets:
+            graph.edges.setdefault(caller, []).append(
+                CallEdge(caller, target, node)
+            )
+
+    def _link_submit(
+        self, graph, node: ast.Call, caller, imports, aliases
+    ) -> None:
+        site = SubmitSite(
+            module=self.module.name,
+            caller=caller,
+            node=node,
+            arg=node.args[0] if node.args else None,
+        )
+        if site.arg is None:
+            site.unresolved = "no positional callable argument"
+        elif isinstance(site.arg, ast.Lambda):
+            site.unresolved = "lambda (unpicklable by reference)"
+        else:
+            targets = self._resolve_callable(
+                graph, site.arg, caller, imports, aliases
+            )
+            if targets:
+                site.targets = targets
+                for target in targets:
+                    graph.edges.setdefault(caller, []).append(
+                        CallEdge(caller, target, node, kind="submit")
+                    )
+            else:
+                site.unresolved = (
+                    "does not resolve to a project function"
+                )
+        graph.submit_sites.append(site)
+
+    def _link_runner(
+        self, graph, node, caller, target_module: str, target_func: str
+    ) -> None:
+        ref = RunnerRef(
+            module=self.module.name,
+            caller=caller,
+            node=node,
+            target_module=target_module,
+            target_func=target_func,
+        )
+        key = graph.resolve_dotted(f"{target_module}.{target_func}")
+        if key is None:
+            # the runtime spelling for a nested def, should one appear
+            for info in graph.functions_in(target_module):
+                if info.qualname.endswith(f"<locals>.{target_func}"):
+                    key = info.key
+                    break
+        if key is not None:
+            ref.target = key
+            graph.edges.setdefault(caller, []).append(
+                CallEdge(caller, key, node, kind="runner")
+            )
+        graph.runner_refs.append(ref)
+
+    def _resolve_callable(
+        self, graph, expr: ast.expr, caller, imports, aliases
+    ) -> List[FunctionKey]:
+        """Every project function ``expr`` may statically refer to."""
+        if isinstance(expr, ast.IfExp):
+            return self._resolve_callable(
+                graph, expr.body, caller, imports, aliases
+            ) + self._resolve_callable(
+                graph, expr.orelse, caller, imports, aliases
+            )
+        if isinstance(expr, ast.Name) and expr.id in aliases:
+            out: List[FunctionKey] = []
+            for alias_expr in aliases[expr.id]:
+                out.extend(
+                    self._resolve_callable(
+                        graph, alias_expr, caller, imports, aliases={}
+                    )
+                )
+            if out:
+                return out
+        dotted = resolved_name(expr, imports)
+        if dotted is None:
+            return []
+        # self.method() -> method on the enclosing class
+        if dotted.startswith("self."):
+            qual = caller[1]
+            if "." in qual and qual != MODULE_BODY:
+                cls_name = qual.split(".")[0]
+                candidate = graph.resolve_dotted(
+                    f"{self.module.name}.{cls_name}.{dotted[5:]}"
+                )
+                return [candidate] if candidate else []
+            return []
+        # a bare name may be a def nested in the calling function
+        # (qualname spelling: caller.<locals>.name)
+        if "." not in dotted and caller[1] != MODULE_BODY:
+            candidate = graph.resolve_dotted(
+                f"{self.module.name}.{caller[1]}.<locals>.{dotted}"
+            )
+            if candidate is not None:
+                return [candidate]
+        # bare or locally-defined name in this module
+        head = dotted.partition(".")[0]
+        if head in self.toplevel:
+            candidate = graph.resolve_dotted(
+                f"{self.module.name}.{dotted}"
+            )
+            return [candidate] if candidate else []
+        # fully-qualified project reference through imports
+        key = graph.resolve_dotted(dotted)
+        return [key] if key else []
+
+    def _local_aliases(self) -> Dict[str, List[ast.expr]]:
+        """``name -> possible callable expressions`` for simple local
+        assignments (``worker = a if flag else b``). Names reassigned
+        non-trivially are dropped rather than guessed at."""
+        candidates: Dict[str, List[ast.expr]] = {}
+        dropped: Set[str] = set()
+        for node in self.module.walk():
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                value = node.value
+                exprs: List[ast.expr] = []
+                if isinstance(value, ast.IfExp):
+                    exprs = [value.body, value.orelse]
+                elif isinstance(value, (ast.Name, ast.Attribute)):
+                    exprs = [value]
+                if exprs and all(
+                    isinstance(e, (ast.Name, ast.Attribute))
+                    for e in exprs
+                ):
+                    candidates.setdefault(target.id, []).extend(exprs)
+                else:
+                    dropped.add(target.id)
+        return {
+            name: exprs
+            for name, exprs in candidates.items()
+            if name not in dropped
+        }
+
+    def _record_call_sinks(
+        self, graph, node: ast.Call, caller, imports, rng_rule
+    ) -> None:
+        from repro.analysis.rules.base import call_name
+
+        name = call_name(node, imports)
+        sinks = graph.sinks
+        if name in WALL_CLOCK_CALLS:
+            sinks.setdefault(caller, []).append(
+                Sink("wall_clock", node, name)
+            )
+        elif name is not None:
+            if (
+                name in NUMPY_SEEDED_CONSTRUCTORS
+                or name == "random.Random"
+            ):
+                if rng_rule._unseeded(node):
+                    sinks.setdefault(caller, []).append(
+                        Sink("unseeded_rng", node, name)
+                    )
+            elif (
+                name.startswith("random.") and name.count(".") == 1
+            ) or name.startswith("numpy.random."):
+                sinks.setdefault(caller, []).append(
+                    Sink("unseeded_rng", node, name)
+                )
+            if name in ENV_READS:
+                sinks.setdefault(caller, []).append(
+                    Sink("env_read", node, name)
+                )
+            if name in OPEN_CALLS:
+                mode_node = _open_mode(node)
+                if mode_node is not None:
+                    for mode in literal_strs(mode_node):
+                        if "w" in mode or "x" in mode:
+                            sinks.setdefault(caller, []).append(
+                                Sink(
+                                    "truncating_write", node,
+                                    f"open(..., {mode!r})",
+                                )
+                            )
+                            break
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in TRUNCATING_METHODS
+        ):
+            sinks.setdefault(caller, []).append(
+                Sink(
+                    "truncating_write", node,
+                    f".{node.func.attr}()",
+                )
+            )

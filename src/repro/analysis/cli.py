@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import (
@@ -68,6 +69,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select", default="",
         help="comma-separated rule codes to run (default: all)",
     )
+    check.add_argument(
+        "--changed", action="store_true",
+        help=(
+            "report findings only in files git sees as changed "
+            "(staged, unstaged or untracked); the whole tree is "
+            "still analyzed so cross-module rules stay sound. "
+            "Implies --cache. The pre-commit recipe in "
+            "CONTRIBUTING.md uses this."
+        ),
+    )
+    check.add_argument(
+        "--cache", action="store_true",
+        help=(
+            "serve unchanged files' findings from the "
+            "content-addressed result cache "
+            "($REPRO_ANALYSIS_CACHE_DIR or ~/.cache/crowdsky/"
+            "analysis)"
+        ),
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache even with --changed",
+    )
 
     rules = sub.add_parser("rules", help="list the rule registry")
     rules.add_argument(
@@ -92,13 +116,71 @@ def _select(raw: str) -> Optional[List[str]]:
     return codes or None
 
 
+def _git_changed_files() -> Optional[List[str]]:
+    """Absolute paths of ``.py`` files git reports as changed
+    (staged, unstaged, or untracked); ``None`` outside a work tree."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            capture_output=True, text=True, timeout=30, check=True,
+        )
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, timeout=30, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    changed: List[str] = []
+    for line in proc.stdout.splitlines():
+        # porcelain v1: two status columns, a space, then the path
+        # (renames are "old -> new"; the new side is what exists)
+        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        if path.endswith(".py"):
+            changed.append(str(Path(top) / path))
+    return changed
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    findings, problems = analyze_paths(
-        args.paths, AnalysisConfig(), _select(args.select)
-    )
+    config = AnalysisConfig()
+    select = _select(args.select)
+    use_cache = (args.cache or args.changed) and not args.no_cache
+    cache = None
+    if use_cache:
+        from repro.analysis.cache import analyze_paths_cached
+
+        findings, problems, cache = analyze_paths_cached(
+            args.paths, config, select
+        )
+    else:
+        findings, problems = analyze_paths(args.paths, config, select)
+
+    changed: Optional[set] = None
+    if args.changed:
+        files = _git_changed_files()
+        if files is None:
+            print(
+                "repro-analysis: --changed requires a git work tree",
+                file=sys.stderr,
+            )
+            return 2
+        changed = {str(Path(f).resolve()) for f in files}
+        findings = [
+            f for f in findings
+            if str(Path(f.path).resolve()) in changed
+        ]
+
     if args.no_baseline:
         gate = list(findings)
         matched = 0
+    elif args.changed:
+        # diff-scoped runs see a partial finding set, so baseline
+        # health (stale entries, missing rationales) can't be judged;
+        # only subtract baselined findings, don't gate the baseline
+        result = apply_baseline(findings, load_baseline(args.baseline))
+        gate = list(result.new)
+        matched = len(result.matched)
     else:
         result = apply_baseline(findings, load_baseline(args.baseline))
         gate = result.gate_findings()
@@ -119,6 +201,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 "parse_errors": len(problems),
             },
         }
+        if cache is not None:
+            document["summary"]["cache"] = {
+                "hits": cache.hits, "misses": cache.misses,
+            }
+        if changed is not None:
+            document["summary"]["changed_files"] = len(changed)
         print(json.dumps(document, indent=2))
     else:
         for problem in problems:
@@ -126,13 +214,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         for finding in gate:
             print(finding.render())
-        if gate:
-            print(
-                f"\n{len(gate)} finding(s)"
-                + (f" ({matched} baselined)" if matched else "")
+        notes = []
+        if matched:
+            notes.append(f"{matched} baselined")
+        if changed is not None:
+            notes.append(f"diff-scoped to {len(changed)} file(s)")
+        if cache is not None:
+            notes.append(
+                f"cache {cache.hits} hit(s) / {cache.misses} miss(es)"
             )
+        suffix = f" ({'; '.join(notes)})" if notes else ""
+        if gate:
+            print(f"\n{len(gate)} finding(s){suffix}")
         else:
-            suffix = f" ({matched} baselined)" if matched else ""
             print(f"clean{suffix}")
     return 1 if gate or problems else 0
 

@@ -57,10 +57,14 @@ DEFAULT_LAYERS: Dict[str, FrozenSet[str]] = {
         {"exceptions", "questions", "skyline", "data", "obs", "crowd",
          "sorting", "core"}
     ),
+    # experiments may additionally reach the analysis tooling: the CLI
+    # hosts `crowdsky --sanitize`, which wraps dispatch in the runtime
+    # determinism sanitizer. The dependency is one-way — analysis
+    # still imports nothing above io.
     "experiments": frozenset(
         {"exceptions", "questions", "io", "skyline", "data", "obs",
          "crowd", "sorting", "core", "query", "incomplete", "metrics",
-         "repro"}
+         "analysis", "repro"}
     ),
     # The linter itself: pure stdlib plus the shared durable-write
     # helper for its own baseline persistence.
@@ -119,6 +123,44 @@ class AnalysisConfig:
         "repro.obs.report",
     )
 
+    #: Modules outside :attr:`deterministic_packages` that still carry
+    #: a byte-identity promise, so RA003's ordering-hazard checks apply
+    #: there too. The sharded skyline fan-out and the resume layer both
+    #: postdate the original deterministic scoping.
+    ordering_hazard_modules: Tuple[str, ...] = (
+        "repro.skyline.sharded",
+        "repro.core.resume",
+    )
+
+    #: Packages the RNG-taint walk (RA013) treats as out of scope even
+    #: when called from deterministic code: the obs layer owns clocks
+    #: by design, and the linter itself is never on a run path.
+    taint_exempt_packages: Tuple[str, ...] = (
+        "repro.obs",
+        "repro.analysis",
+    )
+
+    #: Modules whose ``ProcessPoolExecutor`` submissions RA014 checks
+    #: for transitive pickle-safety (module-level, closure-free,
+    #: env-read-free callables).
+    pool_modules: Tuple[str, ...] = (
+        "repro.experiments.sweep",
+        "repro.skyline.sharded",
+    )
+
+    #: Packages RA015 does not descend into when propagating the
+    #: truncating-write ban: repro.io *is* the sanctioned write path.
+    persistence_exempt_packages: Tuple[str, ...] = (
+        "repro.io",
+    )
+
+    #: Modules that own the closure-transaction protocol — RA016's
+    #: "add_answer outside a transaction" check skips them (they are
+    #: the implementation, not a caller).
+    transaction_owner_modules: Tuple[str, ...] = (
+        "repro.core.preference",
+    )
+
     def deterministic(self, module_name: str) -> bool:
         """Whether a dotted module name falls under RA001-RA003."""
         return any(
@@ -131,6 +173,41 @@ class AnalysisConfig:
         return any(
             module_name == pkg or module_name.startswith(pkg + ".")
             for pkg in self.persistence_modules
+        )
+
+    def ordering_checked(self, module_name: str) -> bool:
+        """Whether RA003 applies beyond the deterministic packages."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.ordering_hazard_modules
+        )
+
+    def taint_exempt(self, module_name: str) -> bool:
+        """Whether RA013 skips paths passing through this module."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.taint_exempt_packages
+        )
+
+    def persistence_exempt(self, module_name: str) -> bool:
+        """Whether RA015 treats this module as a sanctioned writer."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.persistence_exempt_packages
+        )
+
+    def pool_checked(self, module_name: str) -> bool:
+        """Whether RA014 inspects pool submissions in this module."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.pool_modules
+        )
+
+    def transaction_owner(self, module_name: str) -> bool:
+        """Whether RA016 treats this module as the protocol owner."""
+        return any(
+            module_name == pkg or module_name.startswith(pkg + ".")
+            for pkg in self.transaction_owner_modules
         )
 
     def top_package(self, module_name: str) -> str:

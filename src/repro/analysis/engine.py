@@ -33,13 +33,34 @@ NOQA_RE = re.compile(
 
 @dataclass
 class SourceModule:
-    """One parsed module of the tree under analysis."""
+    """One parsed module of the tree under analysis.
+
+    Parsing happens exactly once per file; everything every rule family
+    needs from the tree afterwards — the flat node list with parent
+    links, the import map, the call sites, the statement-extent index —
+    is derived once on first use and shared across rules. Before this
+    sharing, each of the six rule families re-walked the tree and
+    re-derived the import map per module (docs/static-analysis.md has
+    the before/after numbers).
+    """
 
     name: str
     path: str
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    _nodes: Optional[List[ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+    _imports: Optional[Dict[str, str]] = field(
+        default=None, repr=False, compare=False
+    )
+    _calls: Optional[List[ast.Call]] = field(
+        default=None, repr=False, compare=False
+    )
+    _statements: Optional[List["tuple[int, int]"]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -50,6 +71,58 @@ class SourceModule:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1].strip()
         return ""
+
+    def walk(self) -> List[ast.AST]:
+        """Every node of the tree, in ``ast.walk`` order, with parent
+        links stamped (``rules.base.parent_of``). Computed once."""
+        if self._nodes is None:
+            nodes: List[ast.AST] = []
+            for node in ast.walk(self.tree):
+                nodes.append(node)
+                for child in ast.iter_child_nodes(node):
+                    child._repro_parent = node  # type: ignore[attr-defined]
+            self._nodes = nodes
+        return self._nodes
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Alias -> dotted-origin import map, derived once."""
+        if self._imports is None:
+            from repro.analysis.rules.base import import_map
+
+            self._imports = import_map(self.walk())
+        return self._imports
+
+    def calls(self) -> List[ast.Call]:
+        """Every ``ast.Call`` node of the module, derived once."""
+        if self._calls is None:
+            self._calls = [
+                node for node in self.walk() if isinstance(node, ast.Call)
+            ]
+        return self._calls
+
+    def statement_start(self, lineno: int) -> Optional[int]:
+        """First line of the innermost statement containing ``lineno``.
+
+        Backs noqa-suppression scoping (a noqa on ``except OSError:``
+        covers the handler body); the statement-extent index is built
+        once per module instead of re-walking the tree per finding.
+        """
+        if self._statements is None:
+            spans = []
+            for node in self.walk():
+                if not isinstance(node, (ast.stmt, ast.excepthandler)):
+                    continue
+                start = getattr(node, "lineno", None)
+                end = getattr(node, "end_lineno", None)
+                if start is not None and end is not None:
+                    spans.append((start, end))
+            self._statements = spans
+        best: Optional[int] = None
+        for start, end in self._statements:
+            if start <= lineno <= end and (best is None or start > best):
+                best = start
+        return best
 
     @staticmethod
     def parse(
@@ -160,19 +233,9 @@ def _statement_lines(module: SourceModule, lineno: int) -> Set[int]:
     line plus the first line of the innermost statement containing it
     (so a noqa on ``except OSError:`` covers the handler body)."""
     lines = {lineno}
-    best: Optional[ast.AST] = None
-    for node in ast.walk(module.tree):
-        start = getattr(node, "lineno", None)
-        end = getattr(node, "end_lineno", None)
-        if start is None or end is None:
-            continue
-        if not isinstance(node, (ast.stmt, ast.excepthandler)):
-            continue
-        if start <= lineno <= end:
-            if best is None or start > getattr(best, "lineno", 0):
-                best = node
-    if best is not None:
-        lines.add(best.lineno)
+    start = module.statement_start(lineno)
+    if start is not None:
+        lines.add(start)
     return lines
 
 

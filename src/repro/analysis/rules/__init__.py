@@ -2,7 +2,7 @@
 
 Importing this package registers every built-in rule; use
 :func:`all_rules` / :func:`get_rule` to enumerate them. Codes are
-stable (``RA001``...) and grouped into six families:
+stable (``RA001``...) and grouped into seven families:
 
 ========  ==================  =========================================
 code      family              invariant
@@ -19,6 +19,10 @@ RA009     cache-purity        runners take no mutable defaults
 RA010     exception-hygiene   no bare ``except:``
 RA011     exception-hygiene   no silent exception swallows
 RA012     persistence         no truncating writes in persistence paths
+RA013     interprocedural     no call path to clocks/unseeded RNG
+RA014     interprocedural     pool submissions transitively picklable
+RA015     interprocedural     no laundered truncating writes
+RA016     interprocedural     spans/posting groups/verdicts balance
 ========  ==================  =========================================
 """
 
@@ -34,6 +38,7 @@ from repro.analysis.rules.base import (
 # registry; keep alphabetical by family file).
 from repro.analysis.rules import determinism  # noqa: F401
 from repro.analysis.rules import hygiene  # noqa: F401
+from repro.analysis.rules import interprocedural  # noqa: F401
 from repro.analysis.rules import layering  # noqa: F401
 from repro.analysis.rules import obs_schema  # noqa: F401
 from repro.analysis.rules import persistence  # noqa: F401

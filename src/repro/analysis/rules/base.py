@@ -97,15 +97,19 @@ def get_rule(code: str) -> Optional[Rule]:
 # -- AST helpers -------------------------------------------------------------
 
 
-def import_map(tree: ast.AST) -> Dict[str, str]:
+def import_map(tree) -> Dict[str, str]:
     """Map local alias -> dotted origin for every import in ``tree``.
 
     ``import numpy as np`` yields ``{"np": "numpy"}``;
     ``from time import time as now`` yields ``{"now": "time.time"}``.
-    Star imports are ignored (nothing resolvable to track).
+    Star imports are ignored (nothing resolvable to track). ``tree``
+    may be an AST node or an already-flattened node iterable (the
+    engine passes ``SourceModule.walk()`` so the tree is only walked
+    once per file).
     """
     mapping: Dict[str, str] = {}
-    for node in ast.walk(tree):
+    nodes = tree if isinstance(tree, (list, tuple)) else ast.walk(tree)
+    for node in nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.asname:

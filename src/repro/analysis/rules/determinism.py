@@ -28,10 +28,8 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules.base import (
     ModuleRule,
     call_name,
-    import_map,
     parent_of,
     register,
-    walk_with_parents,
 )
 
 #: Wall-clock reads (resolved dotted call targets).
@@ -141,10 +139,8 @@ class WallClockRule(ModuleRule):
     def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
         if not config.deterministic(module.name):
             return
-        imports = import_map(module.tree)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        imports = module.imports
+        for node in module.calls():
             name = call_name(node, imports)
             if name in WALL_CLOCK_CALLS:
                 yield self.finding(
@@ -169,10 +165,8 @@ class UnseededRandomRule(ModuleRule):
     def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
         if not config.deterministic(module.name):
             return
-        imports = import_map(module.tree)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        imports = module.imports
+        for node in module.calls():
             name = call_name(node, imports)
             if name is None:
                 continue
@@ -225,11 +219,18 @@ class OrderingHazardRule(ModuleRule):
     )
 
     def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
-        if not config.deterministic(module.name):
+        # Ordering hazards are checked in the deterministic packages
+        # plus the explicitly-opted-in ordering_hazard_modules (the
+        # sharded skyline and resume layers postdate the original
+        # deterministic scoping but carry the same byte-identity
+        # promise).
+        if not (
+            config.deterministic(module.name)
+            or config.ordering_checked(module.name)
+        ):
             return
-        imports = import_map(module.tree)
-        tree = module.tree
-        nodes = list(walk_with_parents(tree))
+        imports = module.imports
+        nodes = module.walk()
 
         funcs = [
             n for n in nodes

@@ -45,7 +45,7 @@ class BareExceptRule(ModuleRule):
     summary = "bare `except:` — name the exception type(s)"
 
     def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             if isinstance(node, ast.ExceptHandler) and node.type is None:
                 yield self.finding(
                     module, node,
@@ -66,7 +66,7 @@ class SilentExceptRule(ModuleRule):
     )
 
     def check_module(self, module, config: AnalysisConfig) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             if (
                 isinstance(node, ast.ExceptHandler)
                 and node.type is not None

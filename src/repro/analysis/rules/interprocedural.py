@@ -1,0 +1,487 @@
+"""Interprocedural rules (RA013-RA016), built on the call graph.
+
+The module-local determinism/persistence rules check *sites*; these
+rules check *paths*. Each one walks :class:`repro.analysis.callgraph.
+CallGraph` edges and reports at the **crossing call site** — the edge
+where checked scope calls out into code that (transitively) reaches a
+sink. One finding per crossing edge keeps the noise proportional to
+the number of decisions a reviewer can actually make (change or
+suppress that call), not to the number of paths behind it.
+
+* **RA013** — RNG/clock taint: deterministic code calls out of the
+  deterministic packages into a function that transitively reaches a
+  wall-clock read or unseeded RNG. Module-local RA001/RA002 keep
+  direct sites; this closes the "hidden behind one helper call" gap.
+* **RA014** — pool pickle-safety: everything submitted to a process
+  pool in the configured pool modules must resolve to a module-level
+  project function (nested defs, lambdas and methods do not pickle by
+  reference) whose transitive callees read no environment; runner
+  strings that resolve to nested functions are flagged with the same
+  precision.
+* **RA015** — transitive persistence: RA012's truncating-write ban
+  propagated through the graph — a persistence module may not launder
+  a truncating write through a helper in an unchecked module.
+* **RA016** — span/transaction balance: ``tracer.span(...)`` must be
+  used as a context manager (or returned to a caller who will),
+  journal posting groups opened with ``_write("post", ...)`` must
+  commit on all non-raising paths, manual ``__enter__`` needs a paired
+  ``__exit__``, and crowd-round code must batch verdicts through
+  ``apply_verdicts`` instead of looping ``add_answer``.
+
+Paths are rendered in messages as ``a -> b -> c`` dotted-function
+chains so a finding is actionable without re-deriving the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ProjectRule,
+    literal_str,
+    parent_of,
+    register,
+)
+
+
+def _graph_for(modules, config):
+    """Build (and memoize on the module list) the project call graph.
+
+    All four rules run against the same module list in one analysis
+    pass; building the graph once and stashing it on the first parsed
+    module keeps the full-repo interprocedural check well under the
+    10s budget without threading state through the engine. The memo
+    also records the list identity so a different module set never
+    reuses a stale graph.
+    """
+    from repro.analysis.callgraph import CallGraph
+
+    if modules:
+        memo = getattr(modules[0], "_repro_callgraph", None)
+        if memo is not None and memo[0] == id(modules):
+            return memo[1]
+    graph = CallGraph.build(modules, config)
+    if modules:
+        modules[0]._repro_callgraph = (id(modules), graph)
+    return graph
+
+
+def _chain(start_key, path) -> str:
+    """``repro.a.f -> repro.b.g`` rendering of an edge path."""
+    names = [f"{start_key[0]}.{start_key[1]}"]
+    names += [f"{edge.callee[0]}.{edge.callee[1]}" for edge in path]
+    return " -> ".join(names)
+
+
+@register
+class RngTaintRule(ProjectRule):
+    """RA013: deterministic scope reaches a clock/RNG sink."""
+
+    code = "RA013"
+    family = "interprocedural"
+    summary = (
+        "call path from deterministic code reaches a wall-clock read "
+        "or unseeded RNG outside the deterministic packages"
+    )
+
+    _SINKS = {"wall_clock", "unseeded_rng"}
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        graph = _graph_for(modules, config)
+        by_name = {module.name: module for module in modules}
+        reported: Set[Tuple[str, int, int, str]] = set()
+        for key, info in graph.functions.items():
+            if not config.deterministic(info.module):
+                continue
+            module = by_name.get(info.module)
+            if module is None:
+                continue
+            for edge in graph.callees(key):
+                callee_mod = edge.callee[0]
+                # crossing edges only: the callee is outside checked
+                # scope (inside it, RA001/RA002 or this rule at the
+                # callee's own edges already cover the sink)
+                if config.deterministic(callee_mod):
+                    continue
+                if config.taint_exempt(callee_mod):
+                    continue
+                yield from self._check_crossing(
+                    graph, config, module, edge, reported
+                )
+
+    def _check_crossing(self, graph, config, module, edge, reported):
+        hits = self._sink_paths(graph, config, edge.callee)
+        for kind, path, sink in hits:
+            anchor = (
+                module.path,
+                getattr(edge.node, "lineno", 1),
+                getattr(edge.node, "col_offset", 0),
+                kind,
+            )
+            if anchor in reported:
+                continue
+            reported.add(anchor)
+            what = (
+                "a wall-clock read"
+                if kind == "wall_clock"
+                else "unseeded randomness"
+            )
+            chain = _chain(edge.callee, path)
+            yield self.finding(
+                module, edge.node,
+                f"deterministic code reaches {what} "
+                f"(`{sink.detail}`) via {chain}; thread the value in "
+                "explicitly or move the sink behind repro.obs",
+            )
+
+    def _sink_paths(self, graph, config, start):
+        """``(kind, path, sink)`` for the first sink of each kind
+        reachable from ``start`` (including ``start`` itself)."""
+        found: Dict[str, Tuple[list, object]] = {}
+        for sink in graph.sinks_of(start):
+            if sink.kind in self._SINKS and sink.kind not in found:
+                found[sink.kind] = ([], sink)
+        for path, reached in graph.walk_paths(
+            start, skip_module=config.taint_exempt
+        ):
+            if len(found) == len(self._SINKS):
+                break
+            for sink in graph.sinks_of(reached):
+                if sink.kind in self._SINKS and sink.kind not in found:
+                    found[sink.kind] = (path, sink)
+        return [
+            (kind, path, sink) for kind, (path, sink) in found.items()
+        ]
+
+
+@register
+class PoolPickleSafetyRule(ProjectRule):
+    """RA014: pool submissions must be module-level and env-free."""
+
+    code = "RA014"
+    family = "interprocedural"
+    summary = (
+        "process-pool submission (or runner string) must resolve to a "
+        "module-level project function with no transitive env reads"
+    )
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        graph = _graph_for(modules, config)
+        by_name = {module.name: module for module in modules}
+        for site in graph.submit_sites:
+            if not config.pool_checked(site.module):
+                continue
+            module = by_name.get(site.module)
+            if module is None:
+                continue
+            anchor = site.arg if site.arg is not None else site.node
+            if site.unresolved is not None:
+                yield self.finding(
+                    module, anchor,
+                    f"pool submission {site.unresolved}: workers "
+                    "import their callable by name, so it must be a "
+                    "module-level function in the project",
+                )
+                continue
+            for target in site.targets:
+                info = graph.function(target)
+                if info is None:
+                    continue
+                if info.is_nested:
+                    yield self.finding(
+                        module, anchor,
+                        f"pool submission resolves to nested function "
+                        f"`{info.dotted}` — nested defs close over "
+                        "their frame and cannot be pickled by "
+                        "reference; hoist it to module level",
+                    )
+                    continue
+                if info.is_method:
+                    yield self.finding(
+                        module, anchor,
+                        f"pool submission resolves to method "
+                        f"`{info.dotted}`; bound methods drag their "
+                        "instance through pickle — submit a "
+                        "module-level function instead",
+                    )
+                    continue
+                yield from self._env_findings(
+                    graph, config, module, anchor, target
+                )
+
+        # runner strings get the same structural check with graph
+        # precision (RA008 reports unresolvable; this one says *why*)
+        for ref in graph.runner_refs:
+            if ref.target is None:
+                continue
+            info = graph.function(ref.target)
+            module = by_name.get(ref.module)
+            if info is None or module is None:
+                continue
+            if info.is_nested:
+                yield self.finding(
+                    module, ref.node,
+                    f"runner {ref.target_module}:{ref.target_func} "
+                    f"resolves to nested function `{info.dotted}` — "
+                    "nested defs are unpicklable by reference, so the "
+                    "worker process cannot import this cell; hoist it "
+                    "to module level",
+                )
+
+    def _env_findings(self, graph, config, module, anchor, target):
+        direct = [
+            s for s in graph.sinks_of(target) if s.kind == "env_read"
+        ]
+        if direct:
+            chain = f"{target[0]}.{target[1]}"
+            yield self.finding(
+                module, anchor,
+                f"pool worker `{chain}` reads the environment "
+                f"(`{direct[0].detail}`); worker processes may see a "
+                "different env than the parent — pass the value "
+                "through the submitted arguments",
+            )
+            return
+        for path, reached in graph.walk_paths(
+            target, skip_module=config.taint_exempt
+        ):
+            reads = [
+                s for s in graph.sinks_of(reached)
+                if s.kind == "env_read"
+            ]
+            if reads:
+                chain = _chain(target, path)
+                yield self.finding(
+                    module, anchor,
+                    f"pool worker transitively reads the environment "
+                    f"(`{reads[0].detail}`) via {chain}; pass the "
+                    "value through the submitted arguments",
+                )
+                return
+
+
+@register
+class TransitivePersistenceRule(ProjectRule):
+    """RA015: truncating writes laundered through helpers."""
+
+    code = "RA015"
+    family = "interprocedural"
+    summary = (
+        "persistence-module code reaches a truncating write through a "
+        "helper outside the checked modules"
+    )
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        graph = _graph_for(modules, config)
+        by_name = {module.name: module for module in modules}
+        reported: Set[Tuple[str, int, int]] = set()
+        for key, info in graph.functions.items():
+            if not config.persistent(info.module):
+                continue
+            module = by_name.get(info.module)
+            if module is None:
+                continue
+            for edge in graph.callees(key):
+                callee_mod = edge.callee[0]
+                # crossing edges only: writes inside persistence
+                # modules are RA012's (module-local) job, and the
+                # sanctioned write path (repro.io) is exempt
+                if config.persistent(callee_mod):
+                    continue
+                if config.persistence_exempt(callee_mod):
+                    continue
+                hit = self._first_write(graph, config, edge.callee)
+                if hit is None:
+                    continue
+                path, sink = hit
+                anchor = (
+                    module.path,
+                    getattr(edge.node, "lineno", 1),
+                    getattr(edge.node, "col_offset", 0),
+                )
+                if anchor in reported:
+                    continue
+                reported.add(anchor)
+                chain = _chain(edge.callee, path)
+                yield self.finding(
+                    module, edge.node,
+                    f"persistence code reaches a truncating write "
+                    f"(`{sink.detail}`) via {chain}; route the write "
+                    "through repro.io.atomic or an append-only handle",
+                )
+
+    def _first_write(self, graph, config, start):
+        for sink in graph.sinks_of(start):
+            if sink.kind == "truncating_write":
+                return [], sink
+        for path, reached in graph.walk_paths(
+            start, skip_module=config.persistence_exempt
+        ):
+            for sink in graph.sinks_of(reached):
+                if sink.kind == "truncating_write":
+                    return path, sink
+        return None
+
+
+@register
+class TransactionBalanceRule(ProjectRule):
+    """RA016: spans, posting groups and verdict transactions balance."""
+
+    code = "RA016"
+    family = "interprocedural"
+    summary = (
+        "unbalanced span/posting-group/verdict transaction: spans must "
+        "be `with`-managed, journal posts must commit, crowd rounds "
+        "must batch through apply_verdicts"
+    )
+
+    def check_project(self, modules, config: AnalysisConfig) -> Iterator[Finding]:
+        for module in modules:
+            if config.taint_exempt(module.name):
+                # repro.obs owns the span protocol; the linter itself
+                # is never on a run path
+                continue
+            module.walk()  # ensure parent links are stamped
+            yield from self._span_misuse(module)
+            yield from self._enter_without_exit(module)
+            yield from self._posting_groups(module)
+            if (
+                config.top_package(module.name) == "core"
+                and not config.transaction_owner(module.name)
+            ):
+                yield from self._add_answer_loops(module)
+
+    # -- span discipline -----------------------------------------------------
+
+    def _span_misuse(self, module) -> Iterator[Finding]:
+        for node in module.calls():
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                continue
+            parent = parent_of(node)
+            if isinstance(parent, ast.withitem):
+                continue  # with tracer.span(...): — the intended shape
+            if isinstance(parent, (ast.Return, ast.Yield)):
+                continue  # factory delegating to its caller
+            if isinstance(parent, ast.Attribute):
+                continue  # tracer.span(...).attr — not a bare span
+            yield self.finding(
+                module, node,
+                "`.span(...)` result is not entered as a context "
+                "manager; a span that never exits skews self-time "
+                "attribution for the whole trace — use "
+                "`with tracer.span(...):`",
+            )
+
+    def _enter_without_exit(self, module) -> Iterator[Finding]:
+        for func in module.walk():
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            enters: List[ast.Call] = []
+            has_exit = False
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr == "__enter__":
+                        enters.append(node)
+                    elif node.func.attr == "__exit__":
+                        has_exit = True
+            if enters and not has_exit:
+                yield self.finding(
+                    module, enters[0],
+                    "manual `.__enter__()` with no paired `.__exit__` "
+                    "in this function; on an exception the resource "
+                    "never closes — use a `with` block or call "
+                    "`.__exit__` in a `finally`",
+                )
+
+    # -- journal posting groups ----------------------------------------------
+
+    @staticmethod
+    def _write_kind(node: ast.Call) -> Optional[str]:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_write"
+            and node.args
+        ):
+            return literal_str(node.args[0])
+        return None
+
+    def _posting_groups(self, module) -> Iterator[Finding]:
+        for func in module.walk():
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            posts: List[ast.Call] = []
+            commits: List[ast.Call] = []
+            returns: List[ast.Return] = []
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    kind = self._write_kind(node)
+                    if kind == "post":
+                        posts.append(node)
+                    elif kind == "commit":
+                        commits.append(node)
+                elif isinstance(node, ast.Return):
+                    returns.append(node)
+            if not posts:
+                continue
+            if not commits:
+                yield self.finding(
+                    module, posts[0],
+                    "posting group opened with `_write(\"post\", ...)` "
+                    "but this function never writes the matching "
+                    "`commit` record; recovery will discard the whole "
+                    "group as a torn tail",
+                )
+                continue
+            last_commit = max(c.lineno for c in commits)
+            first_post = min(p.lineno for p in posts)
+            for ret in returns:
+                if first_post < ret.lineno < last_commit:
+                    yield self.finding(
+                        module, ret,
+                        "return between `_write(\"post\", ...)` and "
+                        "its `commit` leaves an uncommitted posting "
+                        "group; commit (or raise) before returning",
+                    )
+
+    # -- verdict batching ----------------------------------------------------
+
+    def _add_answer_loops(self, module) -> Iterator[Finding]:
+        for node in module.calls():
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_answer"
+            ):
+                continue
+            current = parent_of(node)
+            in_loop = False
+            while current is not None:
+                if isinstance(
+                    current, (ast.For, ast.AsyncFor, ast.While)
+                ):
+                    in_loop = True
+                    break
+                if isinstance(
+                    current, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    break
+                current = parent_of(current)
+            if in_loop:
+                yield self.finding(
+                    module, node,
+                    "`add_answer` called in a loop: each call runs a "
+                    "closure update outside the per-round transaction "
+                    "— batch the edges and commit once through "
+                    "`apply_verdicts`",
+                )

@@ -25,11 +25,15 @@ from repro.analysis.rules.base import ModuleRule, register
 
 
 def _imported_packages(
-    tree: ast.AST, root: str
+    tree, root: str
 ) -> List[Tuple[ast.AST, str]]:
-    """``(node, dotted-module)`` for every import of the root package."""
+    """``(node, dotted-module)`` for every import of the root package.
+
+    ``tree`` may be an AST node or a pre-flattened node list.
+    """
     out: List[Tuple[ast.AST, str]] = []
-    for node in ast.walk(tree):
+    nodes = tree if isinstance(tree, (list, tuple)) else ast.walk(tree)
+    for node in nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name == root or alias.name.startswith(root + "."):
@@ -62,7 +66,7 @@ class LayeringRule(ModuleRule):
         if allowed is None:
             # Unknown package: only the hard invariants apply.
             allowed = frozenset(config.layers) - {"", "experiments"}
-        for node, target in _imported_packages(module.tree, root):
+        for node, target in _imported_packages(module.walk(), root):
             if target == root:
                 dep = "repro"
             else:

@@ -39,10 +39,14 @@ METRIC_CONSTRUCTORS = frozenset({"counter", "gauge", "histogram"})
 
 
 def _registry_entries(
-    tree: ast.AST, registry_name: str
+    tree, registry_name: str
 ) -> Optional[Dict[str, ast.AST]]:
-    """``{event name: key node}`` from the schema module's registry."""
-    for node in ast.walk(tree):
+    """``{event name: key node}`` from the schema module's registry.
+
+    ``tree`` may be an AST node or a pre-flattened node list.
+    """
+    nodes = tree if isinstance(tree, (list, tuple)) else ast.walk(tree)
+    for node in nodes:
         targets: List[ast.expr] = []
         if isinstance(node, ast.Assign):
             targets = node.targets
@@ -65,10 +69,14 @@ def _registry_entries(
     return None
 
 
-def _metric_constants(tree: ast.AST, prefix: str) -> Set[str]:
-    """Canonical metric-name values defined in the metrics module."""
+def _metric_constants(tree, prefix: str) -> Set[str]:
+    """Canonical metric-name values defined in the metrics module.
+
+    ``tree`` may be an AST node or a pre-flattened node list.
+    """
     out: Set[str] = set()
-    for node in ast.walk(tree):
+    nodes = tree if isinstance(tree, (list, tuple)) else ast.walk(tree)
+    for node in nodes:
         if not isinstance(node, ast.Assign):
             continue
         value = literal_str(node.value)
@@ -80,12 +88,15 @@ def _metric_constants(tree: ast.AST, prefix: str) -> Set[str]:
     return out
 
 
-def _event_calls(tree: ast.AST) -> Iterator[Tuple[ast.Call, List[str]]]:
-    """Every ``<something>.event(...)`` call with its literal names."""
-    for node in ast.walk(tree):
+def _event_calls(calls) -> Iterator[Tuple[ast.Call, List[str]]]:
+    """Every ``<something>.event(...)`` call with its literal names.
+
+    ``calls`` is an iterable of ``ast.Call`` nodes
+    (``SourceModule.calls()``).
+    """
+    for node in calls:
         if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
+            isinstance(node.func, ast.Attribute)
             and node.func.attr == "event"
             and node.args
         ):
@@ -109,7 +120,7 @@ class ObsSchemaRule(ProjectRule):
         )
         if schema is None:
             return
-        registered = _registry_entries(schema.tree, config.schema_registry)
+        registered = _registry_entries(schema.walk(), config.schema_registry)
         if registered is None:
             return
         emitted: Set[str] = set()
@@ -118,7 +129,7 @@ class ObsSchemaRule(ProjectRule):
                 continue
             if module.name.startswith(config.root_package + ".analysis"):
                 continue
-            for call, names in _event_calls(module.tree):
+            for call, names in _event_calls(module.calls()):
                 for name in names:
                     emitted.add(name)
                     if name not in registered:
@@ -178,16 +189,15 @@ class MetricLiteralRule(ProjectRule):
         )
         if metrics is None:
             return
-        canonical = _metric_constants(metrics.tree, config.metric_prefix)
+        canonical = _metric_constants(metrics.walk(), config.metric_prefix)
         for module in modules:
             if module.name in (config.metrics_module, config.schema_module):
                 continue
             if module.name.startswith(config.root_package + ".analysis"):
                 continue
-            for node in ast.walk(module.tree):
+            for node in module.calls():
                 if not (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
+                    isinstance(node.func, ast.Attribute)
                     and node.func.attr in METRIC_CONSTRUCTORS
                     and node.args
                 ):

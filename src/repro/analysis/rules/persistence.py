@@ -25,7 +25,6 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules.base import (
     ModuleRule,
     call_name,
-    import_map,
     literal_strs,
     register,
 )
@@ -66,10 +65,8 @@ class AtomicPersistenceRule(ModuleRule):
     ) -> Iterator[Finding]:
         if not config.persistent(module.name):
             return
-        imports = import_map(module.tree)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        imports = module.imports
+        for node in module.calls():
             name = call_name(node, imports)
             if name in OPEN_CALLS:
                 mode_node = _open_mode(node)

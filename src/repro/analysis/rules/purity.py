@@ -28,7 +28,6 @@ from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding
 from repro.analysis.rules.base import (
     ProjectRule,
-    import_map,
     literal_str,
     register,
     resolved_name,
@@ -52,10 +51,15 @@ MUTABLE_DEFAULT_CALLS = frozenset({
 })
 
 
-def _runner_refs(tree: ast.AST, prefix: str) -> List[Tuple[ast.AST, str, str]]:
-    """``(node, module, function)`` for every runner-shaped literal."""
+def _runner_refs(tree, prefix: str) -> List[Tuple[ast.AST, str, str]]:
+    """``(node, module, function)`` for every runner-shaped literal.
+
+    ``tree`` may be an AST node or a pre-flattened node list
+    (``SourceModule.walk()``).
+    """
     out: List[Tuple[ast.AST, str, str]] = []
-    for node in ast.walk(tree):
+    nodes = tree if isinstance(tree, (list, tuple)) else ast.walk(tree)
+    for node in nodes:
         value = literal_str(node)
         if value is None:
             continue
@@ -99,7 +103,7 @@ class RunnerPurityRule(ProjectRule):
             if module.name.startswith(config.root_package + ".analysis"):
                 continue
             for node, target_module, func_name in _runner_refs(
-                module.tree, config.runner_prefix
+                module.walk(), config.runner_prefix
             ):
                 key = (target_module, func_name)
                 target = by_name.get(target_module)
@@ -120,7 +124,7 @@ class RunnerPurityRule(ProjectRule):
                 if key in checked:
                     continue
                 checked.add(key)
-                imports = import_map(target.tree)
+                imports = target.imports
                 for read in _env_reads(func, imports):
                     yield self.finding(
                         target, read,
@@ -156,7 +160,7 @@ class RunnerMutableDefaultRule(ProjectRule):
         seen = set()
         for module in modules:
             for _, target_module, func_name in _runner_refs(
-                module.tree, config.runner_prefix
+                module.walk(), config.runner_prefix
             ):
                 key = (target_module, func_name)
                 if key in seen:
@@ -170,7 +174,7 @@ class RunnerMutableDefaultRule(ProjectRule):
                 )
                 if func is None:
                     continue
-                imports = import_map(target.tree)
+                imports = target.imports
                 defaults = list(func.args.defaults) + [
                     d for d in func.args.kw_defaults if d is not None
                 ]

@@ -1,0 +1,306 @@
+"""Runtime determinism sanitizer: catch what static analysis cannot.
+
+The static rules (RA001-RA003, RA013) see *code*; this module watches
+*executions*. :class:`DeterminismSanitizer` is an opt-in context
+manager that instruments the process's nondeterminism sources and
+records every use with a full stack trace, without changing behaviour
+— every patched function still delegates to the real one, so a run
+under the sanitizer produces exactly the bytes it would have produced
+anyway.
+
+Watched sources (the sanitizer's threat model — see
+docs/static-analysis.md for what it deliberately does *not* catch):
+
+* **wall clock** — ``time.time``, ``time.time_ns``, ``time.ctime``,
+  ``time.localtime``, ``time.gmtime``. Monotonic clocks
+  (``perf_counter*``, ``process_time*``) stay unwatched: they feed
+  durations, never result data.
+* **global RNG** — the shared ``random`` module functions
+  (``random.random``, ``random.randrange``, ...), whose state is
+  call-order-dependent across the whole process. Seeded
+  ``random.Random(seed)`` instances are fine and not recorded.
+* **numpy global RNG** — ``numpy.random.<fn>`` module-level functions
+  backed by the hidden global state (``numpy.random.seed`` callers
+  included; seeded ``default_rng(seed)`` generators pass through
+  unwatched).
+* **os.urandom** — kernel entropy, unreproducible by construction
+  (``random.SystemRandom`` bottoms out here too).
+
+Implementation note: patching is the primary mechanism, not
+``sys.addaudithook`` — CPython emits no audit events for ``time.*`` or
+the ``random`` module, and ``os.urandom`` is only visible on some
+platforms. An audit hook is still installed while active, as a
+best-effort extra signal for filesystem-ordering reads
+(``os.listdir`` / ``os.scandir`` — RA003's runtime counterpart), but
+those are reported as *advisory* notes, not violations, because
+listing a directory is fine when the caller sorts the result (which
+the static rule already enforces).
+
+Exclusions: frames from this module and from the watched modules'
+internals are skipped when attributing a violation, so the reported
+site is the project (or test) line that called the nondeterminism
+source. ``allow_modules`` filters out violations whose attributed
+frame lives in a module the caller declared exempt (the obs layer's
+wall-clock timestamping, pytest internals, ...).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:  # numpy is a hard dependency of the repo, but stay importable
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _numpy = None
+
+#: Violation kinds, in reporting order.
+KIND_WALL_CLOCK = "wall_clock"
+KIND_GLOBAL_RNG = "global_rng"
+KIND_NUMPY_GLOBAL_RNG = "numpy_global_rng"
+KIND_OS_URANDOM = "os_urandom"
+KIND_ADVISORY_LISTING = "advisory_listing"
+
+#: ``time`` module attributes that read the wall clock.
+_WALL_CLOCK_FUNCS = (
+    "time", "time_ns", "ctime", "localtime", "gmtime",
+)
+
+#: ``random`` module functions backed by the hidden global Random().
+_GLOBAL_RANDOM_FUNCS = (
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "betavariate", "expovariate", "gauss",
+    "normalvariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes", "seed",
+)
+
+#: ``numpy.random`` module-level functions backed by the global state.
+_NUMPY_GLOBAL_FUNCS = (
+    "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "beta", "binomial", "exponential", "gamma",
+    "poisson", "seed", "bytes", "random_integers",
+)
+
+#: Audit events forwarded as advisory filesystem-ordering notes.
+_ADVISORY_EVENTS = frozenset({"os.listdir", "os.scandir"})
+
+
+@dataclass
+class Violation:
+    """One recorded use of a nondeterminism source."""
+
+    kind: str
+    source: str  # e.g. "time.time", "random.random", "os.urandom"
+    stack: List[traceback.FrameSummary]
+    site: Optional[traceback.FrameSummary] = None
+
+    @property
+    def location(self) -> str:
+        if self.site is None:
+            return "<unattributable>"
+        return f"{self.site.filename}:{self.site.lineno}"
+
+    def render(self) -> str:
+        lines = [f"{self.kind}: {self.source} at {self.location}"]
+        if self.site is not None and self.site.line:
+            lines.append(f"    {self.site.line.strip()}")
+        return "\n".join(lines)
+
+    def render_stack(self) -> str:
+        """Full formatted stack, innermost last (traceback order)."""
+        header = f"{self.kind}: {self.source}\n"
+        return header + "".join(
+            traceback.format_list(self.stack)
+        )
+
+
+def _attribute(
+    stack: List[traceback.FrameSummary],
+) -> Optional[traceback.FrameSummary]:
+    """The innermost frame not inside this module — the caller that
+    actually touched the nondeterminism source."""
+    here = __file__
+    for frame in reversed(stack):
+        if frame.filename != here:
+            return frame
+    return None
+
+
+class DeterminismSanitizer:
+    """Record-and-passthrough instrumentation of nondeterminism.
+
+    Usage::
+
+        with DeterminismSanitizer() as sanitizer:
+            run_everything()
+        sanitizer.check()  # raises SanitizerViolations on any record
+
+    Re-entrant use of the patched functions from inside the sanitizer
+    itself is safe (recording uses only monotonic bookkeeping). The
+    sanitizer is process-global while active — nesting two instances
+    is refused rather than silently double-patching.
+    """
+
+    _active: Optional["DeterminismSanitizer"] = None
+
+    def __init__(
+        self,
+        allow_modules: Tuple[str, ...] = (),
+        advisory_listings: bool = False,
+    ) -> None:
+        #: path fragments whose violations are dropped (e.g. the obs
+        #: layer timestamping exports, which owns wall-clock reads)
+        self.allow_modules = tuple(allow_modules)
+        self.advisory_listings = advisory_listings
+        self.violations: List[Violation] = []
+        self.advisories: List[Violation] = []
+        self._saved: List[Tuple[object, str, object]] = []
+        self._hook_installed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "DeterminismSanitizer":
+        if DeterminismSanitizer._active is not None:
+            raise RuntimeError(
+                "a DeterminismSanitizer is already active in this "
+                "process; nesting would double-patch"
+            )
+        DeterminismSanitizer._active = self
+        self._patch_all()
+        if self.advisory_listings and not self._hook_installed:
+            # Audit hooks cannot be removed (PEP 578); install once per
+            # process and let the hook check the active instance.
+            sys.addaudithook(_audit_hook)
+            self._hook_installed = True
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._unpatch_all()
+        DeterminismSanitizer._active = None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, kind: str, source: str) -> None:
+        stack = traceback.extract_stack()[:-2]
+        site = _attribute(stack)
+        violation = Violation(
+            kind=kind, source=source, stack=list(stack), site=site
+        )
+        if site is not None and any(
+            fragment in site.filename for fragment in self.allow_modules
+        ):
+            return
+        if kind == KIND_ADVISORY_LISTING:
+            self.advisories.append(violation)
+        else:
+            self.violations.append(violation)
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerViolations` if anything was caught."""
+        if self.violations:
+            raise SanitizerViolations(list(self.violations))
+
+    def report(self) -> str:
+        """Human-readable summary of everything recorded."""
+        if not self.violations and not self.advisories:
+            return "determinism sanitizer: no violations"
+        lines = [
+            f"determinism sanitizer: {len(self.violations)} "
+            f"violation(s), {len(self.advisories)} advisory note(s)"
+        ]
+        for violation in self.violations:
+            lines.append(violation.render())
+        for advisory in self.advisories:
+            lines.append(f"[advisory] {advisory.render()}")
+        return "\n".join(lines)
+
+    # -- patching ------------------------------------------------------------
+
+    def _patch(self, owner, name: str, kind: str, source: str) -> None:
+        original = getattr(owner, name, None)
+        if original is None:
+            return
+
+        def wrapper(*args, **kwargs):
+            self.record(kind, source)
+            return original(*args, **kwargs)
+
+        wrapper.__name__ = getattr(original, "__name__", name)
+        wrapper._repro_sanitizer_original = original
+        self._saved.append((owner, name, original))
+        setattr(owner, name, wrapper)
+
+    def _patch_all(self) -> None:
+        for name in _WALL_CLOCK_FUNCS:
+            self._patch(time, name, KIND_WALL_CLOCK, f"time.{name}")
+        for name in _GLOBAL_RANDOM_FUNCS:
+            self._patch(
+                random, name, KIND_GLOBAL_RNG, f"random.{name}"
+            )
+        self._patch(os, "urandom", KIND_OS_URANDOM, "os.urandom")
+        if _numpy is not None:
+            for name in _NUMPY_GLOBAL_FUNCS:
+                self._patch(
+                    _numpy.random, name, KIND_NUMPY_GLOBAL_RNG,
+                    f"numpy.random.{name}",
+                )
+
+    def _unpatch_all(self) -> None:
+        while self._saved:
+            owner, name, original = self._saved.pop()
+            setattr(owner, name, original)
+
+
+def _audit_hook(event: str, args) -> None:
+    """Forward directory-listing audit events as advisory notes."""
+    active = DeterminismSanitizer._active
+    if active is None or not active.advisory_listings:
+        return
+    if event in _ADVISORY_EVENTS:
+        active.record(KIND_ADVISORY_LISTING, event)
+
+
+class SanitizerViolations(Exception):
+    """Raised by :meth:`DeterminismSanitizer.check` on any violation."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        self.violations = violations
+        summary = "; ".join(
+            f"{v.kind} ({v.source}) at {v.location}"
+            for v in violations[:5]
+        )
+        extra = len(violations) - 5
+        if extra > 0:
+            summary += f"; ... {extra} more"
+        super().__init__(
+            f"{len(violations)} determinism violation(s): {summary}"
+        )
+
+
+def sanitized(
+    func: Callable,
+    *args,
+    allow_modules: Tuple[str, ...] = (),
+    **kwargs,
+):
+    """Run ``func(*args, **kwargs)`` under a sanitizer.
+
+    Returns ``(result, sanitizer)`` — the caller decides whether to
+    ``check()`` (raise) or ``report()`` (print).
+    """
+    with DeterminismSanitizer(allow_modules=allow_modules) as sanitizer:
+        result = func(*args, **kwargs)
+    return result, sanitizer

@@ -133,7 +133,10 @@ def seed_visible_preferences(
                 answer = Preference.LEFT
             else:
                 answer = Preference.EQUAL
-            prefs.add_answer(left, right, attribute, answer)
+            # Machine-phase seeding precedes the first crowd round:
+            # there is no open verdict transaction to batch into, and
+            # these edges are derived (free), not crowd answers.
+            prefs.add_answer(left, right, attribute, answer)  # repro: noqa RA016 - pre-round machine seeding, no transaction exists yet
             edges += 1
     return edges
 

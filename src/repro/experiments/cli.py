@@ -320,6 +320,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "Computation with Crowdsourcing' (EDBT 2016)."
         ),
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run under the determinism sanitizer: record every "
+            "wall-clock read, global-RNG use and os.urandom call "
+            "with a stack trace, and exit nonzero if any occur "
+            "outside the observability layer"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiment ids")
@@ -637,11 +647,40 @@ def _run_trace_command(args) -> int:
     return 0
 
 
+#: Path fragments the CLI sanitizer run treats as sanctioned wall-clock
+#: users: the obs layer owns timestamps (RunReports, trace exports) by
+#: design, and stdlib logging stamps every LogRecord — neither feeds
+#: result data. See the threat model in docs/static-analysis.md.
+_SANITIZE_ALLOW = ("repro/obs/", "logging/")
+
+
+def _dispatch_sanitized(args) -> int:
+    """Run one invocation under the determinism sanitizer."""
+    from repro.analysis.sanitize import DeterminismSanitizer
+
+    with DeterminismSanitizer(
+        allow_modules=_SANITIZE_ALLOW
+    ) as sanitizer:
+        code = _dispatch(args)
+    if sanitizer.violations:
+        print(sanitizer.report(), file=sys.stderr)
+        for violation in sanitizer.violations:
+            print(violation.render_stack(), file=sys.stderr)
+        return 1
+    print(
+        "determinism sanitizer: no violations", file=sys.stderr
+    )
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     configure_logging(level_from_env())
     try:
-        return _dispatch(_build_parser().parse_args(argv))
+        args = _build_parser().parse_args(argv)
+        if getattr(args, "sanitize", False):
+            return _dispatch_sanitized(args)
+        return _dispatch(args)
     except BrokenPipeError:
         # Downstream closed the pipe (e.g. `crowdsky list | head`).
         import os

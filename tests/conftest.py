@@ -86,3 +86,58 @@ def make_relation(known_rows, latent_rows=None, directions=None):
 def rng():
     """A deterministic random generator."""
     return np.random.default_rng(2024)
+
+
+# -- determinism sanitizer plugin (--repro-sanitize) -------------------------
+#
+# Opt-in runtime counterpart of the static determinism rules: each
+# test's call phase runs under repro.analysis.sanitize, and any
+# wall-clock read, global-RNG use or os.urandom call attributed to
+# project or test code fails that test with the recorded stacks.
+# Frames inside the obs layer (which owns timestamps by design), the
+# sanitizer itself, and the test machinery (pytest/pluggy/hypothesis
+# steer the global RNG for their own bookkeeping) are exempt.
+
+SANITIZE_ALLOW = (
+    "repro/obs/",
+    "_pytest/",
+    "pluggy/",
+    "hypothesis/",
+    "importlib/",
+    # stdlib logging stamps every LogRecord with time.time(); log
+    # timestamps are presentation metadata, never result data
+    "logging/",
+)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "run every test under the runtime determinism sanitizer "
+            "and fail on wall-clock/global-RNG/os.urandom use"
+        ),
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not item.config.getoption("--repro-sanitize"):
+        yield
+        return
+    from repro.analysis.sanitize import DeterminismSanitizer
+
+    with DeterminismSanitizer(allow_modules=SANITIZE_ALLOW) as sanitizer:
+        yield
+    if sanitizer.violations:
+        details = "\n\n".join(
+            violation.render_stack()
+            for violation in sanitizer.violations
+        )
+        pytest.fail(
+            f"determinism sanitizer caught "
+            f"{len(sanitizer.violations)} violation(s):\n{details}",
+            pytrace=False,
+        )

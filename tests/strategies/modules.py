@@ -8,6 +8,13 @@ to deliberately brush against every rule family: wall-clock calls,
 unseeded RNGs, set iteration, ``repro.*`` imports, ``.event(...)`` /
 ``.counter(...)`` calls, runner-shaped strings, bare/silent
 ``except``, mutable defaults and ``# repro: noqa`` comments.
+
+The interprocedural family (RA013-RA016) widened the surface: the
+generator also emits decorated functions, nested defs, classes with
+methods, ``pool.submit(...)`` shapes, ``tracer.span(...)`` uses (bare
+and ``with``-managed), journal ``_write("post"/"commit")`` pairs and
+``add_answer`` calls, so the call-graph builder and the rules walking
+it are fuzzed over the same shapes they check for real.
 """
 
 from __future__ import annotations
@@ -27,6 +34,11 @@ MODULE_NAMES = (
     "repro.analysis.generated",
     "repro.generated",
     "loose_module",
+    # interprocedural scopes: pool-checked, ordering-checked, and the
+    # persistence module set all get generated bodies too
+    "repro.experiments.sweep",
+    "repro.skyline.sharded",
+    "repro.core.resume",
 )
 
 _NAMES = st.sampled_from(
@@ -48,7 +60,20 @@ _DOTTED_CALLS = st.sampled_from(
      "os.listdir('.')", "sorted(os.listdir('.'))", "os.getenv('HOME')",
      "os.environ.get('X')", "tracer.event('crowd.round', round=1)",
      "tracer.event(name)", "registry.counter('crowdsky_rounds_total')",
-     "registry.counter(ROUNDS)", "path.rglob('*.py')"]
+     "registry.counter(ROUNDS)", "path.rglob('*.py')",
+     "pool.submit(cell, 1)", "pool.submit(lambda: 1)",
+     "pool.submit(helper, seed)", "pool.submit()",
+     "tracer.span('crowd.round')", "tracer.span(name).attr",
+     "journal._write('post', x)", "journal._write('commit', x)",
+     "journal._write(kind, x)", "prefs.add_answer(x, y, 'a', 1)",
+     "prefs.apply_verdicts(items)", "cm.__enter__()",
+     "cm.__exit__(None, None, None)", "self.helper()",
+     "os.urandom(8)"]
+)
+
+_DECORATORS = st.sampled_from(
+    ["@staticmethod", "@property", "@functools.lru_cache",
+     "@observe('cell')"]
 )
 
 _IMPORTS = st.sampled_from(
@@ -114,7 +139,7 @@ def _block(draw, depth: int) -> List[str]:
 def _stmt(draw, depth: int = 2) -> List[str]:
     if depth <= 0:
         return draw(_simple_stmt())
-    kind = draw(st.integers(min_value=0, max_value=6))
+    kind = draw(st.integers(min_value=0, max_value=7))
     if kind == 0:
         return draw(_simple_stmt())
     if kind == 1:  # for loop
@@ -138,22 +163,39 @@ def _stmt(draw, depth: int = 2) -> List[str]:
             ["try:"] + _indent(draw(_block(depth - 1)))
             + [handler + draw(_COMMENTS)] + _indent(body)
         )
-    if kind == 4:  # function def (possibly with mutable default)
+    if kind == 4:  # function def (decorated/nested variants included)
         params = draw(st.sampled_from(
             ["", "config, seed", "a, acc=[]", "a, acc={}", "a, b=None",
              "*args, **kwargs"]
         ))
         name = draw(st.sampled_from(["cell", "runner", "helper", "_f"]))
-        lines = [f"def {name}({params}):"]
-        lines += _indent(draw(_block(depth - 1)))
+        lines = []
         if draw(st.booleans()):
-            lines += _indent([f"return {draw(_expr())}"])
+            lines.append(draw(_DECORATORS))
+        lines.append(f"def {name}({params}):")
+        if draw(st.booleans()):  # nested def (unpicklable by reference)
+            inner_name = draw(st.sampled_from(["inner", "cell", "_g"]))
+            lines += _indent([f"def {inner_name}():"])
+            lines += _indent(_indent(draw(_block(depth - 1))))
+            lines += _indent([f"return {inner_name}"])
+        else:
+            lines += _indent(draw(_block(depth - 1)))
+            if draw(st.booleans()):
+                lines += _indent([f"return {draw(_expr())}"])
         return lines
     if kind == 5:  # class with a method
         lines = [f"class {draw(st.sampled_from(['C', 'Runner']))}:"]
         inner = [f"def m(self, acc={draw(st.sampled_from(['[]', 'None']))}):"]
         inner += _indent(draw(_block(depth - 1)))
         return lines + _indent(inner)
+    if kind == 6:  # with block (span discipline shapes)
+        head = draw(st.sampled_from(
+            ["with tracer.span('crowd.round'):",
+             "with tracer.span(name) as span:",
+             "with open('out.json', 'w') as fh:",
+             f"with {draw(_NAMES)}:"]
+        ))
+        return [head] + _indent(draw(_block(depth - 1)))
     # dict/registry assignment (exercises the schema extractor)
     target = draw(st.sampled_from(
         ["EVENT_ATTRS", "TABLE", "ROUNDS", "NAMES"]

@@ -78,7 +78,7 @@ def test_registry_lists_all_rules():
     rules = all_rules()
     got = [rule.code for rule in rules]
     assert got == sorted(got)
-    assert got == [f"RA{n:03d}" for n in range(1, 13)]
+    assert got == [f"RA{n:03d}" for n in range(1, 17)]
     families = {rule.family for rule in rules}
     assert {
         "determinism", "layering", "obs-schema", "cache-purity",
@@ -585,7 +585,7 @@ def test_cli_rules_json(capsys):
     assert main(["rules", "--format", "json"]) == 0
     document = json.loads(capsys.readouterr().out)
     assert [r["code"] for r in document["rules"]] == [
-        f"RA{n:03d}" for n in range(1, 13)
+        f"RA{n:03d}" for n in range(1, 17)
     ]
 
 

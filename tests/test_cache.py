@@ -1,0 +1,209 @@
+"""Tests for the incremental-lint result cache and ``check --changed``.
+
+Covers, per CONTRIBUTING.md's pre-commit recipe:
+
+* cached output is byte-identical to the uncached engine, cold and
+  warm;
+* editing one file re-computes exactly that module's findings plus the
+  project rules (whose verdicts may depend on any module);
+* cache keys fold in the module *name* (scoped rules), the linter's
+  own source fingerprint, and the config;
+* corrupt/mismatched entries and unwritable cache roots degrade to
+  cache-off rather than failing the check;
+* ``repro-analysis check --changed`` reports findings only in files
+  git sees as modified, and refuses politely outside a work tree.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.cache import (
+    AnalysisCache,
+    analyze_paths_cached,
+    rules_fingerprint,
+)
+from repro.analysis.cli import main
+
+pytestmark = pytest.mark.analysis
+
+#: Fires RA010 (bare except) wherever it lives — no scoping needed.
+BARE_EXCEPT = "try:\n    pass\nexcept:\n    pass\n"
+CLEAN = "def double(x):\n    return 2 * x\n"
+
+
+def _tree(root: Path) -> Path:
+    src = root / "src"
+    src.mkdir()
+    (src / "alpha.py").write_text(BARE_EXCEPT)
+    (src / "beta.py").write_text(CLEAN)
+    return src
+
+
+# -- cache correctness --------------------------------------------------------
+
+
+def test_cached_run_matches_uncached_cold_and_warm(tmp_path):
+    src = _tree(tmp_path)
+    config = AnalysisConfig()
+    expected, _ = analyze_paths([str(src)], config)
+    assert expected  # the fixture really produces findings
+
+    cache = AnalysisCache(root=tmp_path / "cache", config=config)
+    cold, _, cache = analyze_paths_cached([str(src)], config, None, cache)
+    assert cold == expected
+    assert cache.hits == 0
+
+    warm_cache = AnalysisCache(root=tmp_path / "cache", config=config)
+    warm, _, warm_cache = analyze_paths_cached(
+        [str(src)], config, None, warm_cache
+    )
+    assert warm == expected
+    assert warm_cache.misses == 0
+    assert warm_cache.hits == 3  # two modules + the project-rule entry
+
+
+def test_edit_invalidates_the_edited_module_and_project_rules(tmp_path):
+    src = _tree(tmp_path)
+    config = AnalysisConfig()
+    root = tmp_path / "cache"
+    analyze_paths_cached(
+        [str(src)], config, None, AnalysisCache(root=root, config=config)
+    )
+
+    (src / "beta.py").write_text(CLEAN + "\n# touched\n")
+    cache = AnalysisCache(root=root, config=config)
+    findings, _, cache = analyze_paths_cached(
+        [str(src)], config, None, cache
+    )
+    expected, _ = analyze_paths([str(src)], config)
+    assert findings == expected
+    # alpha served from cache; beta and the whole-tree entry recomputed
+    assert cache.hits == 1
+    assert cache.misses == 2
+
+
+def test_module_key_depends_on_module_name(tmp_path):
+    cache = AnalysisCache(root=tmp_path)
+    source = "import time\ndef f():\n    return time.time()\n"
+    in_scope = cache.module_key("repro.core.x", source, "all")
+    loose = cache.module_key("loose", source, "all")
+    assert in_scope != loose
+
+
+def test_fingerprint_is_stable_and_config_sensitive(tmp_path):
+    default = AnalysisConfig()
+    assert rules_fingerprint(default) == rules_fingerprint(
+        AnalysisConfig()
+    )
+    narrowed = AnalysisConfig(
+        deterministic_packages=("repro.core",)
+    )
+    assert rules_fingerprint(default) != rules_fingerprint(narrowed)
+
+
+def test_corrupt_and_version_mismatched_entries_are_misses(tmp_path):
+    cache = AnalysisCache(root=tmp_path / "cache")
+    key = cache.module_key("m", "x = 1\n", "all")
+    cache.put(key, [])
+    assert cache.get(key) == []
+
+    path = cache._path_for(key)
+    path.write_text("not json{")
+    assert cache.get(key) is None
+    path.write_text(json.dumps({"version": 999, "findings": []}))
+    assert cache.get(key) is None
+
+
+def test_unwritable_cache_root_degrades_to_cache_off(tmp_path):
+    blocker = tmp_path / "occupied"
+    blocker.write_text("a file where the cache dir should go")
+    cache = AnalysisCache(root=blocker)
+    key = cache.module_key("m", "x = 1\n", "all")
+    cache.put(key, [])  # swallowed OSError
+    assert cache.get(key) is None
+
+
+# -- check --changed ----------------------------------------------------------
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.invalid",
+         "-c", "user.name=t", *args],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+@pytest.fixture()
+def git_tree(tmp_path, monkeypatch):
+    """A git work tree with one committed-clean file and one modified
+    file, both carrying a finding."""
+    src = _tree(tmp_path)
+    (src / "beta.py").write_text(CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    # alpha stays committed+unmodified (its finding must not show);
+    # beta gains a finding and is now modified
+    (src / "beta.py").write_text(BARE_EXCEPT)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv(
+        "REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "lintcache")
+    )
+    return src
+
+
+def test_changed_reports_only_git_modified_files(git_tree, capsys):
+    code = main(
+        ["check", str(git_tree), "--changed", "--no-baseline"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "beta.py" in out
+    assert "alpha.py" not in out
+    assert "diff-scoped to 1 file(s)" in out
+    assert "cache" in out
+
+
+def test_changed_is_warm_on_the_second_run(git_tree, capsys):
+    main(["check", str(git_tree), "--changed", "--no-baseline",
+          "--format", "json"])
+    capsys.readouterr()
+    main(["check", str(git_tree), "--changed", "--no-baseline",
+          "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    summary = document["summary"]
+    assert summary["changed_files"] == 1
+    assert summary["cache"]["misses"] == 0
+    assert summary["cache"]["hits"] == 3
+    assert [f["path"] for f in document["findings"]] == [
+        str(git_tree / "beta.py")
+    ]
+
+
+def test_changed_respects_no_cache(git_tree, capsys):
+    code = main(
+        ["check", str(git_tree), "--changed", "--no-baseline",
+         "--no-cache"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "hit(s)" not in out  # no cache note in the summary line
+
+
+def test_changed_outside_a_work_tree_exits_2(
+    tmp_path, monkeypatch, capsys
+):
+    src = _tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "nonexistent.git"))
+    code = main(["check", str(src), "--changed", "--no-baseline"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "requires a git work tree" in err

@@ -1,0 +1,625 @@
+"""Tests for the call-graph builder and the interprocedural rules.
+
+Covers, per docs/static-analysis.md:
+
+* the definition inventory (module-level functions, methods, nested
+  defs with runtime ``outer.<locals>.inner`` qualnames, the
+  ``<module>`` pseudo-function);
+* edge resolution through import aliases, ``self.method`` dispatch,
+  conditional-expression aliases, ``pool.submit`` arguments, and
+  ``"module:function"`` runner strings (including nested targets);
+* per-function sink summaries (wall clock, unseeded RNG, env reads,
+  truncating writes) and BFS reachability;
+* bad+good fixture pairs for each interprocedural rule RA013-RA016,
+  including the nested-function runner RA014 must flag;
+* a Hypothesis property: the builder never crashes on arbitrary
+  syntactically-valid module sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import AnalysisConfig, SourceModule, analyze_modules
+from repro.analysis.callgraph import MODULE_BODY, CallGraph
+from tests.strategies import module_names, python_modules
+
+pytestmark = pytest.mark.analysis
+
+
+def mod(name: str, source: str) -> SourceModule:
+    path = name.replace(".", "/") + ".py"
+    return SourceModule.parse(name, source, path)
+
+
+def build(*modules: SourceModule) -> CallGraph:
+    return CallGraph.build(list(modules), AnalysisConfig())
+
+
+def run(*modules: SourceModule, select=None):
+    return analyze_modules(list(modules), AnalysisConfig(), select)
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+# -- definition inventory -----------------------------------------------------
+
+
+def test_inventory_functions_methods_and_nested_defs():
+    graph = build(mod(
+        "repro.core.inv",
+        "def top():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "    return inner\n"
+        "\n"
+        "class Engine:\n"
+        "    def run(self):\n"
+        "        pass\n",
+    ))
+    quals = {
+        info.qualname for info in graph.functions_in("repro.core.inv")
+    }
+    assert quals == {
+        MODULE_BODY, "top", "top.<locals>.inner", "Engine.run",
+    }
+    inner = graph.function(("repro.core.inv", "top.<locals>.inner"))
+    assert inner.is_nested and not inner.is_method
+    method = graph.function(("repro.core.inv", "Engine.run"))
+    assert method.is_method and not method.is_nested
+    top = graph.function(("repro.core.inv", "top"))
+    assert top.is_module_level
+
+
+def test_resolve_dotted_lookup():
+    graph = build(mod("repro.core.look", "def f():\n    pass\n"))
+    assert graph.resolve_dotted("repro.core.look.f") == (
+        "repro.core.look", "f",
+    )
+    assert graph.resolve_dotted("repro.core.look.g") is None
+
+
+# -- edge resolution ----------------------------------------------------------
+
+
+def test_cross_module_edge_through_import_alias():
+    caller = mod(
+        "repro.core.caller",
+        "from repro.data.callee import helper\n"
+        "\n"
+        "def go():\n"
+        "    return helper()\n",
+    )
+    callee = mod(
+        "repro.data.callee",
+        "def helper():\n    return 1\n",
+    )
+    graph = build(caller, callee)
+    edges = graph.callees(("repro.core.caller", "go"))
+    assert [e.callee for e in edges] == [("repro.data.callee", "helper")]
+
+
+def test_module_level_calls_owned_by_module_pseudo_function():
+    graph = build(mod(
+        "repro.core.toplevel",
+        "def init():\n    pass\n\ninit()\n",
+    ))
+    edges = graph.callees(("repro.core.toplevel", MODULE_BODY))
+    assert [e.callee for e in edges] == [("repro.core.toplevel", "init")]
+
+
+def test_self_method_dispatch_resolves_within_class():
+    graph = build(mod(
+        "repro.core.selfy",
+        "class Engine:\n"
+        "    def run(self):\n"
+        "        return self.step()\n"
+        "    def step(self):\n"
+        "        return 1\n",
+    ))
+    edges = graph.callees(("repro.core.selfy", "Engine.run"))
+    assert [e.callee for e in edges] == [("repro.core.selfy", "Engine.step")]
+
+
+def test_conditional_alias_resolves_both_branches():
+    graph = build(mod(
+        "repro.core.condy",
+        "def a():\n    pass\n"
+        "def b():\n    pass\n"
+        "def pick(flag):\n"
+        "    worker = a if flag else b\n"
+        "    return worker()\n",
+    ))
+    targets = {
+        e.callee for e in graph.callees(("repro.core.condy", "pick"))
+    }
+    assert targets == {
+        ("repro.core.condy", "a"), ("repro.core.condy", "b"),
+    }
+
+
+def test_bare_name_resolves_to_nested_def_in_caller():
+    graph = build(mod(
+        "repro.core.nestcall",
+        "def outer():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "    return inner()\n",
+    ))
+    edges = graph.callees(("repro.core.nestcall", "outer"))
+    assert [e.callee for e in edges] == [
+        ("repro.core.nestcall", "outer.<locals>.inner"),
+    ]
+
+
+def test_runner_string_resolves_to_module_level_function():
+    sweep = mod(
+        "repro.experiments.sweep",
+        'CELLS = ["repro.experiments.cells:cell"]\n',
+    )
+    cells = mod(
+        "repro.experiments.cells",
+        "def cell(config, seed):\n    return config\n",
+    )
+    graph = build(sweep, cells)
+    assert len(graph.runner_refs) == 1
+    ref = graph.runner_refs[0]
+    assert ref.target == ("repro.experiments.cells", "cell")
+    kinds = [
+        e.kind
+        for e in graph.callees(("repro.experiments.sweep", MODULE_BODY))
+    ]
+    assert kinds == ["runner"]
+
+
+def test_runner_string_resolves_to_nested_function_by_fallback():
+    sweep = mod(
+        "repro.experiments.sweep",
+        'CELLS = ["repro.experiments.cells:cell"]\n',
+    )
+    cells = mod(
+        "repro.experiments.cells",
+        "def make():\n"
+        "    def cell(config, seed):\n"
+        "        return config\n"
+        "    return cell\n",
+    )
+    graph = build(sweep, cells)
+    ref = graph.runner_refs[0]
+    assert ref.target == (
+        "repro.experiments.cells", "make.<locals>.cell",
+    )
+
+
+def test_submit_sites_classify_lambda_and_resolved_targets():
+    graph = build(mod(
+        "repro.skyline.sharded",
+        "def work(shard):\n    return shard\n"
+        "def run(pool, shards):\n"
+        "    a = pool.submit(work, shards[0])\n"
+        "    b = pool.submit(lambda: 1)\n"
+        "    return a, b\n",
+    ))
+    sites = graph.submit_sites
+    assert len(sites) == 2
+    resolved = [s for s in sites if s.targets]
+    unresolved = [s for s in sites if s.unresolved]
+    assert resolved[0].targets == [("repro.skyline.sharded", "work")]
+    assert "lambda" in unresolved[0].unresolved
+
+
+# -- sink summaries and reachability -----------------------------------------
+
+
+def test_sinks_recorded_per_function():
+    graph = build(mod(
+        "util.sinks",
+        "import os\nimport random\nimport time\n"
+        "def clocky():\n    return time.time()\n"
+        "def rngy():\n    return random.random()\n"
+        "def envy():\n    return os.getenv('HOME')\n"
+        "def writey(path):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write('x')\n",
+    ))
+
+    def kinds(func):
+        return {s.kind for s in graph.sinks_of(("util.sinks", func))}
+
+    assert kinds("clocky") == {"wall_clock"}
+    assert kinds("rngy") == {"unseeded_rng"}
+    assert kinds("envy") == {"env_read"}
+    assert kinds("writey") == {"truncating_write"}
+
+
+def test_walk_paths_reaches_transitively_and_skips_modules():
+    a = mod(
+        "repro.core.a",
+        "from repro.data.b import middle\n"
+        "def entry():\n    return middle()\n",
+    )
+    b = mod(
+        "repro.data.b",
+        "from repro.data.c import leaf\n"
+        "def middle():\n    return leaf()\n",
+    )
+    c = mod("repro.data.c", "def leaf():\n    return 1\n")
+    graph = build(a, b, c)
+    start = ("repro.core.a", "entry")
+    assert graph.reachable(start) == {
+        ("repro.data.b", "middle"), ("repro.data.c", "leaf"),
+    }
+    pruned = graph.reachable(
+        start, skip_module=lambda name: name == "repro.data.c"
+    )
+    assert pruned == {("repro.data.b", "middle")}
+
+
+# -- RA013: RNG/clock taint ---------------------------------------------------
+
+TAINT_HELPER_BAD = (
+    "import time\n"
+    "def stamp(x):\n"
+    "    return (x, time.time())\n"
+)
+
+
+def test_ra013_fires_on_taint_through_helper_call():
+    core = mod(
+        "repro.core.taints",
+        "from repro.data.helpers import stamp\n"
+        "def round_step(x):\n"
+        "    return stamp(x)\n",
+    )
+    helper = mod("repro.data.helpers", TAINT_HELPER_BAD)
+    findings = run(core, helper, select=["RA013"])
+    assert codes(findings) == ["RA013"]
+    # reported at the crossing call site, not at the sink
+    assert findings[0].path == "repro/core/taints.py"
+    assert findings[0].line == 3
+    assert "time.time" in findings[0].message
+
+
+def test_ra013_fires_on_deep_transitive_chain():
+    core = mod(
+        "repro.core.deep",
+        "from repro.data.mid import middle\n"
+        "def round_step(x):\n"
+        "    return middle(x)\n",
+    )
+    middle = mod(
+        "repro.data.mid",
+        "from repro.data.helpers import stamp\n"
+        "def middle(x):\n    return stamp(x)\n",
+    )
+    helper = mod("repro.data.helpers", TAINT_HELPER_BAD)
+    findings = run(core, middle, helper, select=["RA013"])
+    assert codes(findings) == ["RA013"]
+    assert "repro.data.mid.middle -> " in findings[0].message
+
+
+def test_ra013_quiet_on_pure_helper_and_obs_exempt_sink():
+    core = mod(
+        "repro.core.cleans",
+        "from repro.data.pure import double\n"
+        "from repro.obs.perf import utc_stamp\n"
+        "def round_step(x):\n"
+        "    return double(x) + utc_stamp()\n",
+    )
+    pure = mod("repro.data.pure", "def double(x):\n    return 2 * x\n")
+    obs = mod(
+        "repro.obs.perf",
+        "import time\ndef utc_stamp():\n    return time.time()\n",
+    )
+    assert run(core, pure, obs, select=["RA013"]) == []
+
+
+def test_ra013_quiet_outside_deterministic_scope():
+    loose = mod(
+        "util.loose",
+        "from repro.data.helpers import stamp\n"
+        "def go(x):\n    return stamp(x)\n",
+    )
+    helper = mod("repro.data.helpers", TAINT_HELPER_BAD)
+    assert run(loose, helper, select=["RA013"]) == []
+
+
+# -- RA014: pool pickle-safety ------------------------------------------------
+
+
+def test_ra014_flags_lambda_and_nested_submissions():
+    bad = mod(
+        "repro.skyline.sharded",
+        "def run(pool, shards):\n"
+        "    def work(shard):\n"
+        "        return shard\n"
+        "    a = pool.submit(work, shards[0])\n"
+        "    b = pool.submit(lambda: 1)\n"
+        "    return a, b\n",
+    )
+    findings = run(bad, select=["RA014"])
+    assert codes(findings) == ["RA014"]
+    messages = " | ".join(f.message for f in findings)
+    assert "nested function" in messages
+    assert "lambda" in messages
+
+
+def test_ra014_flags_method_submission():
+    bad = mod(
+        "repro.skyline.sharded",
+        "class Mapper:\n"
+        "    def map(self, shard):\n"
+        "        return shard\n"
+        "def run(pool, shards):\n"
+        "    mapper = Mapper()\n"
+        "    return pool.submit(Mapper.map, shards[0])\n",
+    )
+    findings = run(bad, select=["RA014"])
+    assert len(findings) == 1
+    assert "method" in findings[0].message
+
+
+def test_ra014_flags_transitive_env_read_in_worker():
+    sharded = mod(
+        "repro.skyline.sharded",
+        "from repro.data.workers import work\n"
+        "def run(pool, shards):\n"
+        "    return pool.submit(work, shards[0])\n",
+    )
+    workers = mod(
+        "repro.data.workers",
+        "import os\n"
+        "def work(shard):\n"
+        "    return (shard, os.getenv('SHARD_TMP'))\n",
+    )
+    findings = run(sharded, workers, select=["RA014"])
+    assert len(findings) == 1
+    assert "os.getenv" in findings[0].message
+
+
+def test_ra014_flags_nested_function_runner_string():
+    # the acceptance fixture: a runner string resolving to a nested def
+    sweep = mod(
+        "repro.experiments.sweep",
+        'CELLS = ["repro.experiments.cells:cell"]\n',
+    )
+    cells = mod(
+        "repro.experiments.cells",
+        "def make():\n"
+        "    def cell(config, seed):\n"
+        "        return config\n"
+        "    return cell\n",
+    )
+    findings = run(sweep, cells, select=["RA014"])
+    assert len(findings) == 1
+    assert "unpicklable" in findings[0].message
+    assert "make.<locals>.cell" in findings[0].message
+
+
+def test_ra014_quiet_on_module_level_env_free_worker():
+    good = mod(
+        "repro.skyline.sharded",
+        "def work(shard):\n    return sorted(shard)\n"
+        "def run(pool, shards):\n"
+        "    return [pool.submit(work, s) for s in shards]\n",
+    )
+    assert run(good, select=["RA014"]) == []
+
+
+def test_ra014_quiet_outside_pool_modules():
+    loose = mod(
+        "repro.core.local",
+        "def run(pool):\n    return pool.submit(lambda: 1)\n",
+    )
+    assert run(loose, select=["RA014"]) == []
+
+
+# -- RA015: transitive persistence --------------------------------------------
+
+
+def test_ra015_fires_on_laundered_truncating_write():
+    journal = mod(
+        "repro.crowd.journal",
+        "from util.files import rewrite\n"
+        "def flush(path, data):\n"
+        "    rewrite(path, data)\n",
+    )
+    files = mod(
+        "util.files",
+        "def rewrite(path, data):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(data)\n",
+    )
+    findings = run(journal, files, select=["RA015"])
+    assert codes(findings) == ["RA015"]
+    assert findings[0].path == "repro/crowd/journal.py"
+    assert "util.files.rewrite" in findings[0].message
+
+
+def test_ra015_quiet_when_write_routes_through_repro_io():
+    journal = mod(
+        "repro.crowd.journal",
+        "from repro.io.atomic import atomic_write_text\n"
+        "def flush(path, data):\n"
+        "    atomic_write_text(path, data)\n",
+    )
+    atomic = mod(
+        "repro.io.atomic",
+        "def atomic_write_text(path, data):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(data)\n",
+    )
+    assert run(journal, atomic, select=["RA015"]) == []
+
+
+def test_ra015_quiet_outside_persistence_modules():
+    core = mod(
+        "repro.core.engine2",
+        "from util.files import rewrite\n"
+        "def flush(path, data):\n    rewrite(path, data)\n",
+    )
+    files = mod(
+        "util.files",
+        "def rewrite(path, data):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(data)\n",
+    )
+    assert run(core, files, select=["RA015"]) == []
+
+
+# -- RA016: span/transaction balance ------------------------------------------
+
+
+def test_ra016_flags_bare_span_and_allows_with_managed():
+    bad = mod(
+        "repro.crowd.spans",
+        "def go(tracer):\n    tracer.span('crowd.round')\n",
+    )
+    good = mod(
+        "repro.crowd.spans2",
+        "def go(tracer):\n"
+        "    with tracer.span('crowd.round'):\n"
+        "        pass\n"
+        "def make(tracer):\n"
+        "    return tracer.span('crowd.round')\n",
+    )
+    assert codes(run(bad, select=["RA016"])) == ["RA016"]
+    assert run(good, select=["RA016"]) == []
+
+
+def test_ra016_flags_enter_without_exit():
+    bad = mod(
+        "repro.crowd.manual",
+        "def go(cm):\n    cm.__enter__()\n    return cm\n",
+    )
+    good = mod(
+        "repro.crowd.manual2",
+        "def go(cm):\n"
+        "    cm.__enter__()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        cm.__exit__(None, None, None)\n",
+    )
+    findings = run(bad, select=["RA016"])
+    assert len(findings) == 1
+    assert "__exit__" in findings[0].message
+    assert run(good, select=["RA016"]) == []
+
+
+def test_ra016_flags_uncommitted_posting_group():
+    bad = mod(
+        "repro.crowd.post1",
+        "def flush(self, edges):\n"
+        "    self._write('post', edges)\n",
+    )
+    findings = run(bad, select=["RA016"])
+    assert len(findings) == 1
+    assert "commit" in findings[0].message
+
+
+def test_ra016_flags_return_between_post_and_commit():
+    bad = mod(
+        "repro.crowd.post2",
+        "def flush(self, edges, dry):\n"
+        "    self._write('post', edges)\n"
+        "    if dry:\n"
+        "        return None\n"
+        "    self._write('commit', edges)\n"
+        "    return edges\n",
+    )
+    good = mod(
+        "repro.crowd.post3",
+        "def flush(self, edges):\n"
+        "    self._write('post', edges)\n"
+        "    self._write('commit', edges)\n"
+        "    return edges\n",
+    )
+    findings = run(bad, select=["RA016"])
+    assert len(findings) == 1
+    assert "uncommitted" in findings[0].message
+    assert run(good, select=["RA016"]) == []
+
+
+def test_ra016_flags_add_answer_loop_in_core_only():
+    source = (
+        "def ingest(prefs, batch):\n"
+        "    for left, right, attribute, answer in batch:\n"
+        "        prefs.add_answer(left, right, attribute, answer)\n"
+    )
+    bad = mod("repro.core.ingest", source)
+    owner = mod("repro.core.preference", source)
+    crowd = mod("repro.crowd.ingest", source)
+    batched = mod(
+        "repro.core.batched",
+        "def ingest(prefs, batch):\n"
+        "    prefs.apply_verdicts(batch)\n",
+    )
+    assert codes(run(bad, select=["RA016"])) == ["RA016"]
+    assert run(owner, select=["RA016"]) == []
+    assert run(crowd, select=["RA016"]) == []
+    assert run(batched, select=["RA016"]) == []
+
+
+def test_ra016_skips_obs_and_analysis_modules():
+    obs = mod(
+        "repro.obs.tracer2",
+        "def go(tracer):\n    tracer.span('crowd.round')\n",
+    )
+    assert run(obs, select=["RA016"]) == []
+
+
+# -- suppression and reporting ------------------------------------------------
+
+
+def test_interprocedural_findings_are_noqa_suppressible():
+    bad = mod(
+        "repro.crowd.spans3",
+        "def go(tracer):\n"
+        "    tracer.span('x')  # repro: noqa RA016 - fixture\n",
+    )
+    assert run(bad, select=["RA016"]) == []
+
+
+def test_interprocedural_findings_carry_position_and_family():
+    core = mod(
+        "repro.core.taintpos",
+        "from repro.data.helpers import stamp\n"
+        "def round_step(x):\n"
+        "    return stamp(x)\n",
+    )
+    helper = mod("repro.data.helpers", TAINT_HELPER_BAD)
+    finding = run(core, helper, select=["RA013"])[0]
+    assert finding.family == "interprocedural"
+    assert finding.line == 3 and finding.col > 0
+    assert finding.render().startswith("repro/core/taintpos.py:3:")
+
+
+# -- crash safety -------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    source=python_modules(),
+    other=python_modules(),
+    name=module_names(),
+    other_name=module_names(),
+)
+def test_callgraph_never_crashes_on_valid_modules(
+    source, other, name, other_name
+):
+    modules = [mod(name, source)]
+    if other_name != name:
+        modules.append(mod(other_name, other))
+    graph = CallGraph.build(modules, AnalysisConfig())
+    for key in graph.functions:
+        for _ in graph.walk_paths(key):
+            pass
+    run(*modules, select=["RA013", "RA014", "RA015", "RA016"])

@@ -1,0 +1,214 @@
+"""Tests for the runtime determinism sanitizer.
+
+Covers, per the sanitizer contract (docs/static-analysis.md):
+
+* each patched nondeterminism source is caught — wall clock, global
+  ``random`` RNG, numpy's global RNG, ``os.urandom`` — with a stack
+  attributed to the calling frame (file and function name);
+* passthrough: patched functions return real values and behaviour is
+  unchanged; everything is unpatched on exit;
+* seeded instances (``random.Random(seed)``, ``default_rng(seed)``)
+  pass through unwatched;
+* ``allow_modules`` filtering, the nesting guard, ``check()`` /
+  ``report()`` semantics, and advisory directory-listing notes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import (
+    KIND_GLOBAL_RNG,
+    KIND_NUMPY_GLOBAL_RNG,
+    KIND_OS_URANDOM,
+    KIND_WALL_CLOCK,
+    DeterminismSanitizer,
+    SanitizerViolations,
+    sanitized,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture(autouse=True)
+def _not_nested():
+    """These tests manage their own sanitizer; under ``--repro-sanitize``
+    (where the conftest plugin wraps every test in one) they would hit
+    the nesting guard, so skip rather than fail."""
+    if DeterminismSanitizer._active is not None:
+        pytest.skip("an outer sanitizer is active (--repro-sanitize)")
+
+
+def _touch_clock() -> float:
+    return time.time()
+
+
+def _touch_rng() -> float:
+    return random.random()
+
+
+def _touch_entropy() -> bytes:
+    return os.urandom(4)
+
+
+# -- catching, with attribution ----------------------------------------------
+
+
+def test_wall_clock_is_caught_and_attributed_here():
+    with DeterminismSanitizer() as sanitizer:
+        value = _touch_clock()
+    assert isinstance(value, float) and value > 0
+    assert [v.kind for v in sanitizer.violations] == [KIND_WALL_CLOCK]
+    violation = sanitizer.violations[0]
+    assert violation.source == "time.time"
+    assert violation.site is not None
+    assert violation.site.filename == __file__
+    assert violation.site.name == "_touch_clock"
+    assert "time.time()" in (violation.site.line or "")
+
+
+def test_global_rng_is_caught_and_attributed_here():
+    with DeterminismSanitizer() as sanitizer:
+        value = _touch_rng()
+    assert 0.0 <= value < 1.0
+    violation = sanitizer.violations[0]
+    assert violation.kind == KIND_GLOBAL_RNG
+    assert violation.source == "random.random"
+    assert violation.site.filename == __file__
+    assert violation.site.name == "_touch_rng"
+
+
+def test_os_urandom_is_caught_and_attributed_here():
+    with DeterminismSanitizer() as sanitizer:
+        value = _touch_entropy()
+    assert isinstance(value, bytes) and len(value) == 4
+    violation = sanitizer.violations[0]
+    assert violation.kind == KIND_OS_URANDOM
+    assert violation.source == "os.urandom"
+    assert violation.site.name == "_touch_entropy"
+
+
+def test_numpy_global_rng_is_caught():
+    with DeterminismSanitizer() as sanitizer:
+        np.random.rand(2)
+    assert [v.kind for v in sanitizer.violations] == [
+        KIND_NUMPY_GLOBAL_RNG
+    ]
+    assert sanitizer.violations[0].source == "numpy.random.rand"
+
+
+def test_render_and_stack_name_the_site():
+    with DeterminismSanitizer() as sanitizer:
+        _touch_clock()
+    violation = sanitizer.violations[0]
+    assert f"{__file__}:" in violation.render()
+    stack = violation.render_stack()
+    assert "_touch_clock" in stack
+    assert "sanitize.py" not in stack.rsplit("\n", 3)[-2]
+
+
+# -- what is deliberately not caught ------------------------------------------
+
+
+def test_seeded_instances_pass_unwatched():
+    with DeterminismSanitizer() as sanitizer:
+        random.Random(7).random()
+        np.random.default_rng(7).random()
+        time.perf_counter()
+    assert sanitizer.violations == []
+
+
+# -- passthrough and lifecycle ------------------------------------------------
+
+
+def test_patched_functions_delegate_to_the_real_ones():
+    rng = random.Random(123)
+    expected = [rng.random() for _ in range(3)]
+    with DeterminismSanitizer():
+        random.seed(123)
+        got = [random.random() for _ in range(3)]
+    assert got == expected  # same algorithm, same seed, same stream
+
+
+def test_everything_is_unpatched_on_exit():
+    originals = (time.time, random.random, os.urandom)
+    with DeterminismSanitizer():
+        assert time.time is not originals[0]
+        assert hasattr(time.time, "_repro_sanitizer_original")
+    assert (time.time, random.random, os.urandom) == originals
+
+
+def test_unpatches_even_when_the_body_raises():
+    original = time.time
+    with pytest.raises(ValueError):
+        with DeterminismSanitizer():
+            raise ValueError("boom")
+    assert time.time is original
+    assert DeterminismSanitizer._active is None
+
+
+def test_nesting_is_refused():
+    with DeterminismSanitizer():
+        with pytest.raises(RuntimeError, match="already active"):
+            with DeterminismSanitizer():
+                pass  # pragma: no cover - never entered
+    assert DeterminismSanitizer._active is None
+
+
+# -- filtering, check, report -------------------------------------------------
+
+
+def test_allow_modules_drops_violations_by_path_fragment():
+    with DeterminismSanitizer(
+        allow_modules=("test_sanitize",)
+    ) as sanitizer:
+        _touch_clock()
+    assert sanitizer.violations == []
+
+
+def test_check_raises_with_a_counting_summary():
+    with DeterminismSanitizer() as sanitizer:
+        _touch_clock()
+        _touch_rng()
+    with pytest.raises(SanitizerViolations) as excinfo:
+        sanitizer.check()
+    assert "2 determinism violation(s)" in str(excinfo.value)
+    assert "time.time" in str(excinfo.value)
+    assert len(excinfo.value.violations) == 2
+
+
+def test_check_and_report_on_a_clean_run():
+    with DeterminismSanitizer() as sanitizer:
+        sorted([3, 1, 2])
+    sanitizer.check()  # does not raise
+    assert sanitizer.report() == "determinism sanitizer: no violations"
+
+
+def test_report_lists_each_violation():
+    with DeterminismSanitizer() as sanitizer:
+        _touch_clock()
+    report = sanitizer.report()
+    assert report.startswith(
+        "determinism sanitizer: 1 violation(s), 0 advisory note(s)"
+    )
+    assert "time.time" in report
+
+
+def test_sanitized_helper_returns_result_and_sanitizer():
+    result, sanitizer = sanitized(_touch_entropy)
+    assert isinstance(result, bytes)
+    assert [v.kind for v in sanitizer.violations] == [KIND_OS_URANDOM]
+
+
+def test_advisory_listings_are_notes_not_violations(tmp_path):
+    with DeterminismSanitizer(advisory_listings=True) as sanitizer:
+        os.listdir(tmp_path)
+    assert sanitizer.violations == []
+    assert [a.kind for a in sanitizer.advisories] == ["advisory_listing"]
+    assert "[advisory]" in sanitizer.report()
+    sanitizer.check()  # advisories never fail the run
